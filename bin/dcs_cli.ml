@@ -1,0 +1,382 @@
+(* dcs — command-line interface to the DC-spanner library.
+
+   Subcommands:
+     graph        generate a graph family and print its statistics
+     spanner      build a spanner and measure both stretches
+     lowerbound   run the Theorem 4 lower-bound experiment
+     distributed  run the Corollary 3 LOCAL protocol
+
+   Examples:
+     dune exec bin/dcs_cli.exe -- graph --family regular --n 343 --degree 60
+     dune exec bin/dcs_cli.exe -- spanner --algorithm algorithm1 --n 343 --degree 60
+     dune exec bin/dcs_cli.exe -- lowerbound --k 8 --instances 50 --pool 1400
+     dune exec bin/dcs_cli.exe -- distributed --n 100 --degree 24 --seed 7 *)
+
+open Cmdliner
+
+(* ---- graph families ---- *)
+
+let make_graph ?input ~family ~n ~degree ~p ~seed () =
+  match input with
+  | Some path -> Graph_io.read path
+  | None ->
+  let rng = Prng.create seed in
+  match family with
+  | "regular" ->
+      let d = if n * degree mod 2 = 1 then degree + 1 else degree in
+      Generators.random_regular rng n d
+  | "margulis" ->
+      let m = int_of_float (ceil (sqrt (float_of_int n))) in
+      Generators.margulis m
+  | "torus" ->
+      let side = int_of_float (ceil (sqrt (float_of_int n))) in
+      Generators.torus side side
+  | "hypercube" ->
+      let d = int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
+      Generators.hypercube d
+  | "erdos" -> Generators.erdos_renyi rng n p
+  | "complete" -> Generators.complete n
+  | "two-cliques" -> Generators.two_cliques_matching (if n mod 2 = 1 then n + 1 else n)
+  | "ring" -> Generators.ring_of_cliques (max 2 (n / 20)) 20
+  | other -> failwith (Printf.sprintf "unknown family %S" other)
+
+let family_arg =
+  let doc =
+    "Graph family: regular | margulis | torus | hypercube | erdos | complete | two-cliques | \
+     ring."
+  in
+  Arg.(value & opt string "regular" & info [ "family"; "f" ] ~docv:"FAMILY" ~doc)
+
+let n_arg = Arg.(value & opt int 343 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let degree_arg =
+  Arg.(value & opt int 60 & info [ "degree"; "d" ] ~docv:"D" ~doc:"Degree for regular families.")
+
+let p_arg =
+  Arg.(value & opt float 0.1 & info [ "prob"; "p" ] ~docv:"P" ~doc:"Edge probability (erdos family).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let trials_arg =
+  Arg.(value & opt int 5 & info [ "trials"; "t" ] ~docv:"T" ~doc:"Matching trials to measure.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "input" ] ~docv:"FILE" ~doc:"Read the graph from an edge-list file instead of generating it.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE"
+        ~doc:"Write the (generated graph | computed spanner) as an edge-list file.")
+
+(* ---- graph ---- *)
+
+let graph_cmd =
+  let run family n degree p seed input output =
+    let g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+    (match output with None -> () | Some path -> Graph_io.write g path);
+    let c = Csr.of_graph g in
+    let rng = Prng.create (seed + 1) in
+    Printf.printf "family:      %s\n" family;
+    Printf.printf "nodes:       %d\n" (Graph.n g);
+    Printf.printf "edges:       %d\n" (Graph.m g);
+    Printf.printf "degree:      min %d, max %d%s\n" (Graph.min_degree g) (Graph.max_degree g)
+      (if Graph.is_regular g then " (regular)" else "");
+    Printf.printf "connected:   %b (%d components)\n" (Connectivity.is_connected g)
+      (Connectivity.count g);
+    Printf.printf "lambda:      %.3f (expansion ratio %.3f)\n" (Spectral.lambda c)
+      (Spectral.expansion_ratio c);
+    Printf.printf "diameter:    >= %d (sampled)\n" (Bfs.diameter_sampled c rng ~samples:20)
+  in
+  let term =
+    Term.(const run $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ input_arg $ output_arg)
+  in
+  Cmd.v (Cmd.info "graph" ~doc:"Generate a graph family and print its statistics.") term
+
+(* ---- spanner ---- *)
+
+let algorithm_of_string = function
+  | "theorem2" -> Dc_spanner.Theorem2
+  | "algorithm1" -> Dc_spanner.Algorithm1
+  | "greedy" -> Dc_spanner.Greedy 2
+  | "baswana-sen" -> Dc_spanner.Baswana_sen
+  | "spectral" -> Dc_spanner.Spectral_sparsify
+  | "bounded-degree" -> Dc_spanner.Bounded_degree
+  | "khop-5" -> Dc_spanner.Khop 3
+  | "khop-7" -> Dc_spanner.Khop 4
+  | "irregular" -> Dc_spanner.Irregular
+  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+
+let algorithm_arg =
+  let doc =
+    "Spanner construction: theorem2 | algorithm1 | greedy | baswana-sen | spectral | \
+     bounded-degree | khop-5 | khop-7 | irregular."
+  in
+  Arg.(value & opt string "algorithm1" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+
+let general_arg =
+  Arg.(value & flag & info [ "general" ] ~doc:"Also measure a permutation routing problem.")
+
+let spanner_cmd =
+  let run family n degree p seed algorithm trials general input output =
+    let g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+    let algo = algorithm_of_string algorithm in
+    let rng = Prng.create (seed + 1) in
+    let dc = Dc_spanner.build algo rng g in
+    Printf.printf "construction: %s\n" dc.Dc.name;
+    Printf.printf "guarantee:    %s\n" (Dc_spanner.stretch_guarantee algo);
+    (match algo with
+    | Dc_spanner.Theorem2 | Dc_spanner.Algorithm1 ->
+        let premise = Premise.check g in
+        let relevant =
+          match algo with
+          | Dc_spanner.Theorem2 -> Premise.theorem2_ok premise
+          | _ -> Premise.theorem3_ok premise
+        in
+        if not relevant then
+          List.iter (Printf.printf "warning:      %s\n") (Premise.describe premise)
+    | _ -> ());
+    let row = Experiment.evaluate ~trials ~with_general:general rng dc in
+    Printf.printf "graph:        n=%d m=%d lambda=%.2f\n" row.Experiment.n row.Experiment.m_graph
+      row.Experiment.lambda;
+    Printf.printf "spanner:      m=%d (%.1f%% of G), lambda=%.2f\n" row.Experiment.m_spanner
+      (100.0 *. float_of_int row.Experiment.m_spanner /. float_of_int (max 1 row.Experiment.m_graph))
+      row.Experiment.lambda_spanner;
+    Printf.printf "dist stretch: %s\n"
+      (if row.Experiment.dist_stretch = max_int then "disconnected"
+       else string_of_int row.Experiment.dist_stretch);
+    Printf.printf "matching congestion: mean %.2f, max %d over %d trials\n"
+      row.Experiment.matching.Dc.mean_congestion row.Experiment.matching.Dc.max_congestion trials;
+    (match row.Experiment.general with
+    | None -> ()
+    | Some gen ->
+        Printf.printf "permutation routing: C_G=%d C_H=%d stretch=%.2f path-stretch=%.1f\n"
+          gen.Dc.base_congestion gen.Dc.spanner_congestion gen.Dc.stretch gen.Dc.dist_stretch);
+    match output with
+    | None -> ()
+    | Some path ->
+        Graph_io.write dc.Dc.spanner path;
+        Printf.printf "spanner written to %s\n" path
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg $ trials_arg
+      $ general_arg $ input_arg $ output_arg)
+  in
+  Cmd.v (Cmd.info "spanner" ~doc:"Build a spanner and measure both stretches.") term
+
+(* ---- lowerbound ---- *)
+
+let lowerbound_cmd =
+  let k_arg = Arg.(value & opt int 8 & info [ "faces"; "k" ] ~docv:"K" ~doc:"Faces per instance.") in
+  let instances_arg =
+    Arg.(value & opt int 50 & info [ "instances"; "i" ] ~docv:"I" ~doc:"Number of instances.")
+  in
+  let pool_arg =
+    Arg.(value & opt int 1400 & info [ "pool" ] ~docv:"POOL" ~doc:"Shared line-node pool size.")
+  in
+  let run k instances pool seed =
+    let rng = Prng.create seed in
+    let t = Theorem4.make rng ~pool ~instances ~k in
+    let g = t.Theorem4.graph in
+    let h, removed = Theorem4.optimal_spanner t in
+    let cut = Array.fold_left (fun acc r -> acc + Array.length r) 0 removed in
+    Printf.printf "graph:   n=%d m=%d (%d instances, k=%d)\n" (Graph.n g) (Graph.m g) instances k;
+    Printf.printf "spanner: m=%d (removed %d), distance stretch %d\n" (Graph.m h) cut
+      (Stretch.exact g h);
+    let n = Graph.n g in
+    let worst = ref 0 in
+    for i = 0 to instances - 1 do
+      worst := max !worst (Routing.congestion ~n (Theorem4.forced_routing t i))
+    done;
+    Printf.printf "congestion stretch: %d (claim >= (2k-1)/4 = %.2f)\n" !worst
+      (float_of_int ((2 * k) - 1) /. 4.0)
+  in
+  let term = Term.(const run $ k_arg $ instances_arg $ pool_arg $ seed_arg) in
+  Cmd.v (Cmd.info "lowerbound" ~doc:"Run the Theorem 4 lower-bound experiment.") term
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let alpha_arg =
+    Arg.(value & opt float 3.0 & info [ "alpha" ] ~docv:"A" ~doc:"Distance stretch bound.")
+  in
+  let beta_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "beta" ] ~docv:"B"
+          ~doc:"Congestion stretch bound (default: the Theorem 3 envelope 12(1+2sqrt(D))log n).")
+  in
+  let run family n degree p seed algorithm trials alpha beta input =
+    let g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+    let algo = algorithm_of_string algorithm in
+    let rng = Prng.create (seed + 1) in
+    let dc = Dc_spanner.build algo rng g in
+    let beta =
+      match beta with
+      | Some b -> b
+      | None ->
+          let delta = float_of_int (max 1 (Graph.max_degree g)) in
+          12.0 *. (1.0 +. (2.0 *. sqrt delta)) *. Stats.log2 (float_of_int (max 2 (Graph.n g)))
+    in
+    Printf.printf "construction: %s on n=%d m=%d\n" dc.Dc.name (Graph.n g) (Graph.m g);
+    Printf.printf "checking the (%.1f, %.1f)-DC property over %d sampled routings...\n" alpha beta
+      trials;
+    let e = Dc_check.estimate ~trials ~alpha ~beta dc rng in
+    Printf.printf "rho (Definition 4): %d/%d = %.3f\n" e.Dc_check.successes e.Dc_check.trials
+      e.Dc_check.rate;
+    Printf.printf "worst distance stretch observed:   %.2f\n" e.Dc_check.worst_dist;
+    Printf.printf "worst congestion stretch observed: %.2f\n" e.Dc_check.worst_cong
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg $ trials_arg
+      $ alpha_arg $ beta_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Empirically verify the (alpha, beta)-DC property of a construction.")
+    term
+
+(* ---- route ---- *)
+
+let route_cmd =
+  let strategy_arg =
+    Arg.(
+      value & opt string "optimizer"
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Routing strategy: det-sp | random-sp | valiant | optimizer.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "requests"; "r" ] ~docv:"R"
+          ~doc:"Number of random requests (0 = a full random permutation).")
+  in
+  let problem_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "problem" ] ~docv:"FILE" ~doc:"Read the routing problem from a file (see Routing_io).")
+  in
+  let run family n degree p seed strategy requests input problem_file =
+    let g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+    let c = Csr.of_graph g in
+    let rng = Prng.create (seed + 1) in
+    let problem =
+      match problem_file with
+      | Some path -> Routing_io.read ~n:(Graph.n g) path
+      | None ->
+          if requests <= 0 then Problems.permutation rng g
+          else Problems.random_pairs rng g ~k:requests
+    in
+    let routing =
+      match strategy with
+      | "det-sp" -> Sp_routing.route c problem
+      | "random-sp" -> Sp_routing.route_random c rng problem
+      | "valiant" -> Valiant.route c rng problem
+      | "optimizer" -> Congestion_opt.route c rng problem
+      | other -> failwith (Printf.sprintf "unknown strategy %S" other)
+    in
+    let nn = Graph.n g in
+    let max_len = Array.fold_left (fun acc pth -> max acc (Routing.length pth)) 0 routing in
+    Printf.printf "graph:      n=%d m=%d (%s)\n" nn (Graph.m g) family;
+    Printf.printf "problem:    %d requests\n" (Array.length problem);
+    Printf.printf "strategy:   %s\n" strategy;
+    Printf.printf "congestion: %d (node), %d (edge)\n"
+      (Routing.congestion ~n:nn routing)
+      (Routing.edge_congestion ~n:nn routing);
+    Printf.printf "max hops:   %d\n" max_len
+  in
+  let term =
+    Term.(
+      const run $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ strategy_arg $ requests_arg
+      $ input_arg $ problem_arg)
+  in
+  Cmd.v (Cmd.info "route" ~doc:"Route a workload on a graph and report congestion.") term
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let graph_file_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "graph"; "g" ] ~docv:"FILE" ~doc:"The original graph (edge-list file).")
+  in
+  let spanner_file_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spanner" ] ~docv:"FILE" ~doc:"The candidate spanner (edge-list file).")
+  in
+  let run graph_file spanner_file seed trials =
+    let g = Graph_io.read graph_file in
+    let h = Graph_io.read spanner_file in
+    if Graph.n g <> Graph.n h then failwith "verify: node counts differ";
+    let sub = Graph.is_subgraph h ~of_:g in
+    Printf.printf "spanner is a subgraph of the graph: %b\n" sub;
+    if sub then begin
+      let dist = Stretch.exact g h in
+      Printf.printf "distance stretch: %s\n"
+        (if dist = max_int then "unbounded (disconnects some pair)" else string_of_int dist);
+      if dist < max_int then begin
+        let dc = Dc.of_sp_router ~name:"verify" ~graph:g ~spanner:h in
+        let rng = Prng.create seed in
+        let r = Dc.measure_matching dc rng ~trials in
+        Printf.printf
+          "matching congestion stretch over %d trials: mean %.2f, max %d (optimum 1)\n" trials
+          r.Dc.mean_congestion r.Dc.max_congestion
+      end
+    end
+  in
+  let term = Term.(const run $ graph_file_arg $ spanner_file_arg $ seed_arg $ trials_arg) in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify subgraph, distance stretch and congestion of a spanner file.")
+    term
+
+(* ---- distributed ---- *)
+
+let distributed_cmd =
+  let run n degree seed =
+    let d = if n * degree mod 2 = 1 then degree + 1 else degree in
+    let g = Generators.random_regular (Prng.create seed) n d in
+    let r = Dist_spanner.run ~seed g in
+    let ref_h = Dist_spanner.reference ~seed g in
+    let equal =
+      Graph.m r.Dist_spanner.spanner = Graph.m ref_h
+      && Graph.is_subgraph r.Dist_spanner.spanner ~of_:ref_h
+    in
+    Printf.printf "graph:     n=%d Delta=%d m=%d\n" n d (Graph.m g);
+    Printf.printf "rounds:    %d\n" r.Dist_spanner.rounds;
+    Printf.printf "messages:  %d (%d flooded edge records)\n" r.Dist_spanner.messages
+      r.Dist_spanner.entries;
+    Printf.printf "spanner:   m=%d, distance stretch %d\n"
+      (Graph.m r.Dist_spanner.spanner)
+      (Stretch.exact g r.Dist_spanner.spanner);
+    Printf.printf "matches centralized reference: %b\n" equal
+  in
+  let term = Term.(const run $ n_arg $ degree_arg $ seed_arg) in
+  Cmd.v (Cmd.info "distributed" ~doc:"Run the Corollary 3 LOCAL protocol.") term
+
+let () =
+  let info =
+    Cmd.info "dcs" ~version:"1.0.0"
+      ~doc:"Sparse spanners with small distance and congestion stretches (SPAA 2024)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            graph_cmd;
+            spanner_cmd;
+            check_cmd;
+            route_cmd;
+            verify_cmd;
+            lowerbound_cmd;
+            distributed_cmd;
+          ]))

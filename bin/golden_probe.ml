@@ -1,0 +1,20 @@
+let () =
+  (* probe deterministic values for golden tests *)
+  let g = Generators.random_regular (Prng.create 1) 60 20 in
+  Printf.printf "g m=%d\n" (Graph.m g);
+  let t = Regular_dc.build (Prng.create 2) g in
+  Printf.printf "alg1 m=%d sampled=%d reinserted=%d repaired=%d\n"
+    (Graph.m t.Regular_dc.spanner) (Graph.m t.Regular_dc.sampled) t.Regular_dc.reinserted t.Regular_dc.repaired;
+  let e = Expander_dc.build (Prng.create 3) g in
+  Printf.printf "thm2 m=%d p=%.6f\n" (Graph.m e.Expander_dc.spanner) e.Expander_dc.p;
+  let dc = Regular_dc.to_dc t g in
+  let r = Dc.measure_matching dc (Prng.create 4) ~trials:3 in
+  Printf.printf "match mean=%.6f max=%d\n" r.Dc.mean_congestion r.Dc.max_congestion;
+  let h = Classic.baswana_sen_3 (Prng.create 5) g in
+  Printf.printf "bs m=%d\n" (Graph.m h);
+  let gr = Classic.greedy g ~k:2 in
+  Printf.printf "greedy m=%d\n" (Graph.m gr);
+  let lam = Spectral.lambda (Csr.of_graph g) in
+  Printf.printf "lambda=%.6f\n" lam;
+  let dist = Dist_spanner.run ~seed:6 g in
+  Printf.printf "dist m=%d messages=%d\n" (Graph.m dist.Dist_spanner.spanner) dist.Dist_spanner.messages

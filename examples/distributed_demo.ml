@@ -1,0 +1,59 @@
+(* Corollary 3 demo: Algorithm 1 as an O(1)-round LOCAL protocol.
+
+   Every node samples its incident edges, floods its 3-hop neighborhood
+   knowledge for three rounds, and decides locally which of its edges to
+   reinsert.  The result is *identical* to the centralized construction
+   under the same per-edge coins — locality suffices.
+
+   Run with:  dune exec examples/distributed_demo.exe *)
+
+let () =
+  let rng = Prng.create 19 in
+  let n = 120 in
+  let g = Generators.random_regular rng n 30 in
+  Printf.printf "network: n=%d, Delta=%d, m=%d\n\n" n 30 (Graph.m g);
+
+  let seed = 2024 in
+  let result = Dist_spanner.run ~seed g in
+  let reference = Dist_spanner.reference ~seed g in
+
+  Printf.printf "LOCAL protocol:\n";
+  Printf.printf "  rounds:                 %d (constant: sample + 3 floods + decide + deliver)\n"
+    result.Dist_spanner.rounds;
+  Printf.printf "  messages delivered:     %d\n" result.Dist_spanner.messages;
+  Printf.printf "  flooded edge records:   %d (LOCAL allows unbounded messages;\n"
+    result.Dist_spanner.entries;
+  Printf.printf "                          the model charges rounds, not bits)\n";
+  Printf.printf "  spanner edges:          %d of %d\n"
+    (Graph.m result.Dist_spanner.spanner)
+    (Graph.m g);
+
+  let equal =
+    Graph.m result.Dist_spanner.spanner = Graph.m reference
+    && Graph.is_subgraph result.Dist_spanner.spanner ~of_:reference
+  in
+  Printf.printf "\ndistributed output = centralized reference? %b\n" equal;
+  Printf.printf "distance stretch of the distributed spanner: %d\n"
+    (Stretch.exact g result.Dist_spanner.spanner);
+
+  (* Beyond the paper: Theorem 2's router is also 2-hop local, so a removed
+     edge's replacement path can be computed distributedly in O(1) rounds. *)
+  let pairs = Matching.random_maximal (Prng.create 5) g in
+  let r2 = Dist_expander.run ~seed:7 g pairs in
+  let _, ref_routing = Dist_expander.reference ~seed:7 g pairs in
+  let same = Array.for_all2 (fun a b -> a = b) r2.Dist_expander.routing ref_routing in
+  Printf.printf
+    "\ndistributed Theorem 2 (spanner + routing of a %d-request matching):\n"
+    (Array.length pairs);
+  Printf.printf "  rounds: %d, replacement paths = centralized choice: %b\n"
+    r2.Dist_expander.rounds same;
+
+  (* Round count does not grow with n. *)
+  Printf.printf "\nscaling check (rounds vs n):\n";
+  List.iter
+    (fun n ->
+      let g = Generators.random_regular (Prng.create n) n (max 16 (n / 4)) in
+      let r = Dist_spanner.run ~seed:n g in
+      Printf.printf "  n=%-4d rounds=%d  messages=%d\n" n r.Dist_spanner.rounds
+        r.Dist_spanner.messages)
+    [ 40; 80; 160 ]

@@ -1,0 +1,57 @@
+type algorithm =
+  | Theorem2
+  | Algorithm1
+  | Greedy of int
+  | Baswana_sen
+  | Spectral_sparsify
+  | Bounded_degree
+  | Khop of int
+  | Irregular
+
+let algorithm_name = function
+  | Theorem2 -> "theorem2"
+  | Algorithm1 -> "algorithm1"
+  | Greedy k -> Printf.sprintf "greedy-%d" ((2 * k) - 1)
+  | Baswana_sen -> "baswana-sen"
+  | Spectral_sparsify -> "spectral[16]"
+  | Bounded_degree -> "bounded-deg[5]"
+  | Khop k -> Printf.sprintf "khop-%d" ((2 * k) - 1)
+  | Irregular -> "irregular"
+
+let build algorithm rng g =
+  match algorithm with
+  | Theorem2 ->
+      let t = Expander_dc.build rng g in
+      Expander_dc.to_dc t g
+  | Algorithm1 ->
+      let t = Regular_dc.build rng g in
+      Regular_dc.to_dc t g
+  | Greedy k ->
+      let h = Classic.greedy g ~k in
+      Dc.of_sp_router ~name:(algorithm_name (Greedy k)) ~graph:g ~spanner:h
+  | Baswana_sen ->
+      let h = Classic.baswana_sen_3 rng g in
+      Dc.of_sp_router ~name:"baswana-sen" ~graph:g ~spanner:h
+  | Spectral_sparsify ->
+      let t = Sparsify.spectral rng g in
+      Sparsify.to_dc ~name:"spectral[16]" t g
+  | Bounded_degree ->
+      let t = Sparsify.bounded_degree rng g in
+      Sparsify.to_dc ~name:"bounded-deg[5]" t g
+  | Khop k ->
+      let t = Khop_dc.build ~k rng g in
+      Khop_dc.to_dc t g
+  | Irregular ->
+      let t = Irregular_dc.build rng g in
+      Irregular_dc.to_dc t g
+
+let stretch_guarantee = function
+  | Theorem2 -> "(3, O(log^2 n)) with O(n^{5/3}) edges on dense regular expanders"
+  | Algorithm1 -> "(3, O(sqrt(D) log n)) with O(n^{5/3} log^2 n) edges on D-regular, D >= n^{2/3}"
+  | Greedy k -> Printf.sprintf "(%d, unbounded) with O(n^{1+1/%d}) edges" ((2 * k) - 1) k
+  | Baswana_sen -> "(3, unbounded) with O(n^{3/2}) edges"
+  | Spectral_sparsify -> "(O(log n), O(log^4 n)) with O(n log n) edges on expanders"
+  | Bounded_degree -> "(O(log n), O(log^3 n)) with O(n) edges on dense expanders"
+  | Khop k ->
+      Printf.sprintf "(%d, measured) with ~n*D^{1/%d} edges; exploratory (Section 8)" ((2 * k) - 1) k
+  | Irregular -> "(3, measured) degree-local Algorithm 1; exploratory (Section 8)"

@@ -1,0 +1,35 @@
+(** Public facade of the DC-spanner library.
+
+    This module gathers the whole system behind one entry point: pick a
+    construction with {!type:algorithm}, call {!build} on a graph, and get a
+    {!Dc.t} — the spanner plus its matching router — that {!Dc.route_general}
+    lifts to arbitrary routings via the Theorem 1 decomposition.
+
+    The underlying modules remain directly usable (the library is unwrapped):
+    {!Graph}, {!Csr}, {!Bfs}, {!Generators}, {!Spectral} (substrate);
+    {!Routing}, {!Matching}, {!Bipartite_matching}, {!Edge_coloring},
+    {!Decompose} (routing machinery); {!Regular_dc}, {!Expander_dc},
+    {!Classic}, {!Sparsify}, {!Support}, {!Stretch}, {!Dc} (spanners);
+    {!Ray_line}, {!Design}, {!Theorem4}, {!Lemma2}, {!Vft_example} (lower
+    bounds); {!Local_model}, {!Dist_spanner} (distributed). *)
+
+type algorithm =
+  | Theorem2  (** expander DC-spanner: stretch 3, [O(n^{5/3})] edges *)
+  | Algorithm1  (** Δ-regular DC-spanner (Theorem 3): stretch 3, [Õ(n^{5/3})] edges *)
+  | Greedy of int  (** [Greedy k]: classic [(2k−1)]-distance spanner (no congestion control) *)
+  | Baswana_sen  (** randomized 3-distance spanner (no congestion control) *)
+  | Spectral_sparsify  (** [16]-substitute: [Θ(n log n)]-edge expander sparsifier *)
+  | Bounded_degree  (** [5]-substitute: [O(n)]-edge expander sparsifier *)
+  | Khop of int  (** [Khop k]: exploratory [(2k−1)]-stretch generalization (Section 8 open problem) *)
+  | Irregular  (** exploratory arbitrary-degree variant of Algorithm 1 (Section 8 open problem) *)
+
+val algorithm_name : algorithm -> string
+(** Short label used in reports. *)
+
+val build : algorithm -> Prng.t -> Graph.t -> Dc.t
+(** Construct the chosen spanner on [g] and package it with its matching
+    router.  Deterministic given the generator state. *)
+
+val stretch_guarantee : algorithm -> string
+(** The paper's asymptotic (distance, congestion) guarantee for the
+    construction, as a display string. *)

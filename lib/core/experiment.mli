@@ -1,0 +1,50 @@
+(** Shared measurement harness.
+
+    Every bench block, the CLI and the examples evaluate a spanner through
+    this module so that "edges / distance stretch / congestion stretch" mean
+    the same thing everywhere:
+
+    - {b edges}: [|E(H)|], with the normalization [|E(H)| / n^e] for the
+      shape checks against the paper's [O(n^{5/3})]-style claims;
+    - {b distance stretch}: exact ([max_{(u,v) ∈ E} d_H(u,v)], see
+      {!Stretch.exact});
+    - {b matching congestion stretch}: congestion of the substitute routing
+      of random maximal edge-matchings (optimum 1 by construction);
+    - {b general congestion stretch}: permutation routing routed in [G] by
+      randomized shortest paths, then re-routed on [H] through the Theorem 1
+      decomposition, congestions compared. *)
+
+type row = {
+  label : string;
+  n : int;
+  m_graph : int;
+  m_spanner : int;
+  lambda : float;  (** measured spectral expansion of [G] *)
+  lambda_spanner : float;  (** measured spectral expansion of [H] *)
+  dist_stretch : int;  (** exact distance stretch of [H] ([max_int] = disconnected) *)
+  matching : Dc.matching_report;
+  general : Dc.general_report option;
+}
+
+val evaluate :
+  ?trials:int ->
+  ?with_general:bool ->
+  ?with_lambda:bool ->
+  Prng.t ->
+  Dc.t ->
+  row
+(** Measure one construction.  [trials] (default 5) matching problems;
+    [with_general] (default true) adds the permutation-routing measurement;
+    [with_lambda] (default true) the spectral estimates. *)
+
+val edges_norm : row -> float -> float
+(** [edges_norm row e] is [m_spanner / n^e] — flat across a sweep iff the
+    paper's size exponent [e] is right. *)
+
+val row_cells : row -> norm_exp:float -> string list
+(** Render the row for a {!Report.t} table with columns
+    [n; m(G); m(H); m(H)/n^e; lambda(G); lambda(H); dist; match-cong(mean/max);
+    gen-stretch; decomp]. *)
+
+val row_columns : string list
+(** Matching column headers. *)

@@ -1,0 +1,37 @@
+(** Distributed Theorem 2: O(1)-round spanner {e and} routing in LOCAL.
+
+    Section 7 gives the distributed implementation for Algorithm 1; the
+    Theorem 2 construction distributes even more readily, and — going beyond
+    the paper — so does its {e router}, because a removed edge's replacement
+    path lives entirely inside the 2-hop ball of its endpoints:
+
+    + {b Round 0} — every edge's smaller endpoint flips the shared sampling
+      coin ([p = n^{2/3}/Δ]) and announces the outcome; the surviving edges
+      are the spanner (the construction needs nothing else);
+    + {b Rounds 1–2} — two knowledge floods: afterwards each node knows all
+      edges (with coins) incident to its distance-≤2 ball — exactly the
+      inputs of the Lemma 4 neighborhood matching for any incident edge;
+    + {b Round 3} — the source of every routing request that lost its edge
+      computes the surviving-candidate set {e locally} (the same Hopcroft–
+      Karp the centralized router runs) and picks a replacement with a
+      shared per-request coin.
+
+    {!run} executes the protocol for a matching routing problem and the test
+    suite asserts the resulting paths equal {!reference}'s centralized
+    computation — full-information and 2-hop-local routing coincide. *)
+
+type result = {
+  spanner : Graph.t;
+  routing : Routing.routing;  (** replacement paths, one per request *)
+  rounds : int;
+  messages : int;
+}
+
+val run : seed:int -> Graph.t -> (int * int) array -> result
+(** Execute the protocol: build the sampled spanner and route the given
+    matching (pairs must be edges of the graph; each source must own its
+    request, i.e. pairs are oriented).  Deterministic in [seed]. *)
+
+val reference : seed:int -> Graph.t -> (int * int) array -> Graph.t * Routing.routing
+(** The same computation with full information; {!run} must match it
+    edge-for-edge and path-for-path. *)

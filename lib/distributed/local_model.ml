@@ -1,0 +1,35 @@
+type 'msg outbox = (int * 'msg) list
+
+type ('state, 'msg) step =
+  round:int -> me:int -> neighbors:int array -> 'state -> (int * 'msg) list -> 'state * 'msg outbox
+
+type stats = { rounds : int; messages : int }
+
+let run g ~rounds ~init ~step =
+  let n = Graph.n g in
+  let neighbors =
+    Array.init n (fun v ->
+        let ns = Array.of_list (Graph.neighbors g v) in
+        Array.sort compare ns;
+        ns)
+  in
+  let states = Array.init n init in
+  let inboxes = Array.make n [] in
+  let messages = ref 0 in
+  for round = 0 to rounds - 1 do
+    let next_inboxes = Array.make n [] in
+    for v = 0 to n - 1 do
+      let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(v) in
+      let state, outbox = step ~round ~me:v ~neighbors:neighbors.(v) states.(v) inbox in
+      states.(v) <- state;
+      List.iter
+        (fun (dst, msg) ->
+          if not (Graph.mem_edge g v dst) then
+            invalid_arg "Local_model.run: message to a non-neighbor";
+          incr messages;
+          next_inboxes.(dst) <- (v, msg) :: next_inboxes.(dst))
+        outbox
+    done;
+    Array.blit next_inboxes 0 inboxes 0 n
+  done;
+  (states, { rounds; messages = !messages })

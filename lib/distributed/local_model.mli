@@ -1,0 +1,31 @@
+(** Synchronous LOCAL-model simulator.
+
+    The LOCAL model (paper Section 7): computation proceeds in synchronous
+    rounds; in each round every node reads the messages its neighbors sent in
+    the previous round, updates its state, and sends one (unbounded) message
+    per incident edge.  There is no bandwidth limit — the model measures
+    {e locality} (round count), which is why Corollary 3's O(1)-round bound
+    is meaningful.
+
+    The simulator is deterministic: nodes are stepped in index order and
+    inboxes are sorted by sender. *)
+
+type 'msg outbox = (int * 'msg) list
+(** Messages to send this round: [(neighbor, message)].  Sending to a
+    non-neighbor raises. *)
+
+type ('state, 'msg) step =
+  round:int -> me:int -> neighbors:int array -> 'state -> (int * 'msg) list -> 'state * 'msg outbox
+(** One node's transition: receives the round number (starting at 0), its id,
+    its neighbor list (sorted), its state, and the inbox
+    [(sender, message)] from the previous round (empty in round 0). *)
+
+type stats = {
+  rounds : int;  (** rounds executed *)
+  messages : int;  (** total messages delivered *)
+}
+
+val run :
+  Graph.t -> rounds:int -> init:(int -> 'state) -> step:('state, 'msg) step -> 'state array * stats
+(** Execute [rounds] synchronous rounds on the graph and return the final
+    states. *)

@@ -1,0 +1,98 @@
+let distances_impl g s ~bound ~stop_at =
+  let n = Csr.n g in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  dist.(s) <- 0;
+  queue.(0) <- s;
+  tail := 1;
+  (* Early exit at *discovery* of [stop_at], not at pop: on dense graphs the
+     final BFS layer dominates the work and the target is usually discovered
+     long before its layer is settled. *)
+  let finished = ref (stop_at = s) in
+  while (not !finished) && !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    if dist.(v) < bound then begin
+      try
+        Csr.iter_neighbors g v (fun u ->
+            if dist.(u) < 0 then begin
+              dist.(u) <- dist.(v) + 1;
+              if u = stop_at then raise Exit;
+              queue.(!tail) <- u;
+              incr tail
+            end)
+      with Exit -> finished := true
+    end
+  done;
+  dist
+
+let distances g s = distances_impl g s ~bound:max_int ~stop_at:(-1)
+
+let distances_bounded g s ~bound = distances_impl g s ~bound ~stop_at:(-1)
+
+let distance g u v =
+  if u = v then 0 else (distances_impl g u ~bound:max_int ~stop_at:v).(v)
+
+let distance_bounded g u v ~bound =
+  if u = v then 0
+  else begin
+    let d = (distances_impl g u ~bound ~stop_at:v).(v) in
+    if d > bound then -1 else d
+  end
+
+(* BFS parent tracking shared by the deterministic and randomized path
+   extraction.  [choose] picks among shortest-path predecessors of a node. *)
+let path_impl g u v ~choose =
+  if u = v then Some [| u |]
+  else begin
+    let dist = distances_impl g u ~bound:max_int ~stop_at:v in
+    if dist.(v) < 0 then None
+    else begin
+      let rec build node acc =
+        if node = u then node :: acc
+        else begin
+          let preds = ref [] in
+          Csr.iter_neighbors g node (fun w ->
+              if dist.(w) >= 0 && dist.(w) = dist.(node) - 1 then preds := w :: !preds);
+          let parent = choose (List.sort compare !preds) in
+          build parent (node :: acc)
+        end
+      in
+      Some (Array.of_list (build v []))
+    end
+  end
+
+let shortest_path g u v =
+  let choose = function
+    | [] -> assert false
+    | p :: _ -> p
+  in
+  path_impl g u v ~choose
+
+let random_shortest_path g rng u v =
+  let choose preds =
+    let arr = Array.of_list preds in
+    Prng.pick rng arr
+  in
+  path_impl g u v ~choose
+
+let eccentricity g v =
+  let dist = distances g v in
+  Array.fold_left max 0 dist
+
+let diameter_sampled g rng ~samples =
+  let n = Csr.n g in
+  if n = 0 then 0
+  else begin
+    let sources =
+      if samples >= n then Array.init n (fun i -> i)
+      else Prng.sample_distinct rng ~n ~k:samples
+    in
+    Array.fold_left (fun acc s -> max acc (eccentricity g s)) 0 sources
+  end
+
+let all_distances g = Array.init (Csr.n g) (fun s -> distances g s)
+
+let all_distances_parallel ?domains g =
+  Parallel.map_range ?domains (Csr.n g) (fun s -> distances g s)

@@ -1,0 +1,47 @@
+(** Breadth-first search primitives.
+
+    All distance-stretch measurements in the paper reduce to BFS: the
+    3-distance certificate checks [d_H(u,v) ≤ 3] for removed edges, and the
+    exact stretch of a spanner compares single-source distances in [G] and
+    [H].  Distances are hop counts ([-1] encodes "unreachable"). *)
+
+val distances : Csr.t -> int -> int array
+(** [distances g s] is the array of hop distances from [s]; [-1] where
+    unreachable. *)
+
+val distances_bounded : Csr.t -> int -> bound:int -> int array
+(** Like {!distances} but stops expanding beyond [bound] hops; nodes farther
+    than [bound] report [-1].  Used for cheap [d ≤ 3] certificates. *)
+
+val distance : Csr.t -> int -> int -> int
+(** [distance g u v] is the hop distance, [-1] if disconnected. *)
+
+val distance_bounded : Csr.t -> int -> int -> bound:int -> int
+(** [distance_bounded g u v ~bound] is the hop distance if it is [≤ bound],
+    otherwise [-1].  Early-exits as soon as [v] is settled. *)
+
+val shortest_path : Csr.t -> int -> int -> int array option
+(** [shortest_path g u v] is a node sequence [u ... v] realizing the hop
+    distance, or [None] if disconnected.  Parent choice is deterministic
+    (smallest-index parent). *)
+
+val random_shortest_path : Csr.t -> Prng.t -> int -> int -> int array option
+(** Like {!shortest_path}, but each node's BFS parent is chosen uniformly at
+    random among its shortest-path predecessors.  This is the randomized
+    shortest-path routing used as the [25]-substitute (DESIGN.md §3.4): the
+    random choice spreads congestion across the shortest-path DAG. *)
+
+val eccentricity : Csr.t -> int -> int
+(** Largest finite distance from the node (ignores unreachable nodes). *)
+
+val diameter_sampled : Csr.t -> Prng.t -> samples:int -> int
+(** Lower bound on the diameter from BFS at [samples] random sources
+    (exact when [samples >= n]). *)
+
+val all_distances : Csr.t -> int array array
+(** All-pairs hop distances by repeated BFS; O(n·m).  Only for small graphs
+    (tests and exact stretch on modest instances). *)
+
+val all_distances_parallel : ?domains:int -> Csr.t -> int array array
+(** {!all_distances} with the per-source BFS sweeps fanned out over OCaml 5
+    domains; identical output. *)

@@ -1,0 +1,37 @@
+type t = { words : int; rows : int array array }
+
+let of_graph g =
+  let n = Graph.n g in
+  let words = (n + 62) / 63 in
+  let rows = Array.init n (fun _ -> Array.make words 0) in
+  Graph.iter_edges g (fun u v ->
+      rows.(u).(v / 63) <- rows.(u).(v / 63) lor (1 lsl (v mod 63));
+      rows.(v).(u / 63) <- rows.(v).(u / 63) lor (1 lsl (u mod 63)));
+  { words; rows }
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let common_count t u z =
+  let ru = t.rows.(u) and rz = t.rows.(z) in
+  let acc = ref 0 in
+  for i = 0 to t.words - 1 do
+    acc := !acc + popcount (ru.(i) land rz.(i))
+  done;
+  !acc
+
+let common_count_at_least t u z k =
+  if k <= 0 then true
+  else begin
+    let ru = t.rows.(u) and rz = t.rows.(z) in
+    let acc = ref 0 in
+    let i = ref 0 in
+    while !acc < k && !i < t.words do
+      acc := !acc + popcount (ru.(!i) land rz.(!i));
+      incr i
+    done;
+    !acc >= k
+  end
+
+let mem t u v = t.rows.(u).(v / 63) land (1 lsl (v mod 63)) <> 0

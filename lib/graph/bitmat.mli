@@ -1,0 +1,23 @@
+(** Packed adjacency-bitset view of a graph.
+
+    Algorithm 1's support structure asks, for every edge and every extension,
+    how many 2-detours a base [{u, z}] has — i.e. [|N(u) ∩ N(z)|].  Doing this
+    with hash probes is O(Δ) per query; with one bitset row per node it is
+    O(n/64) word operations, which makes the full support census feasible at
+    benchmark sizes. *)
+
+type t
+
+val of_graph : Graph.t -> t
+(** Build the packed adjacency matrix (O(n²/64) words). *)
+
+val common_count : t -> int -> int -> int
+(** [common_count b u z] is [|N(u) ∩ N(z)|] — the number of routers of
+    2-detours with base [{u, z}] (paper Section 4, Figure 3). *)
+
+val common_count_at_least : t -> int -> int -> int -> bool
+(** [common_count_at_least b u z k]: early-exits once [k] common neighbors
+    are found. *)
+
+val mem : t -> int -> int -> bool
+(** Adjacency test. *)

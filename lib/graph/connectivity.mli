@@ -1,0 +1,19 @@
+(** Connected-component queries. *)
+
+val components : Graph.t -> int array
+(** [components g] labels each node with a component id in [0 ..].  Ids are
+    assigned in order of first appearance by node index. *)
+
+val count : Graph.t -> int
+(** Number of connected components ([0] for the empty node set). *)
+
+val is_connected : Graph.t -> bool
+(** Whether the graph has exactly one component (vacuously true on 0 or 1
+    nodes). *)
+
+val repair : Graph.t -> within:Graph.t -> int
+(** [repair h ~within:g] adds edges of [g] to [h] until [h] has as few
+    components as possible given [g]'s topology (one per [g]-component).
+    Greedy: scans [g]'s edges and keeps those that merge [h]-components.
+    Returns the number of edges added.  Used by the [5]-substitute sparsifier
+    (DESIGN.md §3.3) whose uniform sampling may disconnect a few nodes. *)

@@ -1,0 +1,41 @@
+type t = { n : int; xadj : int array; adjncy : int array }
+
+let of_graph g =
+  let size = Graph.n g in
+  let xadj = Array.make (size + 1) 0 in
+  for v = 0 to size - 1 do
+    xadj.(v + 1) <- xadj.(v) + Graph.degree g v
+  done;
+  let adjncy = Array.make xadj.(size) 0 in
+  for v = 0 to size - 1 do
+    let pos = ref xadj.(v) in
+    Graph.iter_neighbors g v (fun u ->
+        adjncy.(!pos) <- u;
+        incr pos);
+    let lo = xadj.(v) and hi = xadj.(v + 1) in
+    let slice = Array.sub adjncy lo (hi - lo) in
+    Array.sort compare slice;
+    Array.blit slice 0 adjncy lo (hi - lo)
+  done;
+  { n = size; xadj; adjncy }
+
+let n t = t.n
+
+let m t = Array.length t.adjncy / 2
+
+let degree t v = t.xadj.(v + 1) - t.xadj.(v)
+
+let iter_neighbors t v f =
+  for i = t.xadj.(v) to t.xadj.(v + 1) - 1 do
+    f t.adjncy.(i)
+  done
+
+let mem_edge t u v =
+  let lo = ref t.xadj.(u) and hi = ref (t.xadj.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = t.adjncy.(mid) in
+    if x = v then found := true else if x < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !found

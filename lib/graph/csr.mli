@@ -1,0 +1,31 @@
+(** Immutable compressed-sparse-row snapshot of a graph.
+
+    BFS sweeps, spectral power iteration, and the routing measurements are the
+    hot loops of the benchmark harness; they all run over this flat-array
+    representation instead of the hash-based {!Graph.t}. *)
+
+type t = private {
+  n : int;  (** number of nodes *)
+  xadj : int array;  (** offsets: neighbors of [v] live at [xadj.(v) .. xadj.(v+1) - 1] *)
+  adjncy : int array;  (** concatenated neighbor lists *)
+}
+
+val of_graph : Graph.t -> t
+(** Snapshot a mutable graph.  Neighbor lists are sorted ascending so that the
+    snapshot is canonical for a given edge set. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val degree : t -> int -> int
+(** Degree of a node. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Iterate over the neighbors of a node. *)
+
+val mem_edge : t -> int -> int -> bool
+(** Edge membership by binary search over the sorted neighbor list:
+    O(log deg). *)

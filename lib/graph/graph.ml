@@ -1,0 +1,126 @@
+type t = { adj : (int, unit) Hashtbl.t array; mutable m : int }
+
+type edge = int * int
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { adj = Array.init n (fun _ -> Hashtbl.create 4); m = 0 }
+
+let n g = Array.length g.adj
+
+let m g = g.m
+
+let check_node g v =
+  if v < 0 || v >= n g then invalid_arg "Graph: node out of range"
+
+let mem_edge g u v =
+  check_node g u;
+  check_node g v;
+  Hashtbl.mem g.adj.(u) v
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  if u = v || Hashtbl.mem g.adj.(u) v then false
+  else begin
+    Hashtbl.replace g.adj.(u) v ();
+    Hashtbl.replace g.adj.(v) u ();
+    g.m <- g.m + 1;
+    true
+  end
+
+let remove_edge g u v =
+  check_node g u;
+  check_node g v;
+  if u <> v && Hashtbl.mem g.adj.(u) v then begin
+    Hashtbl.remove g.adj.(u) v;
+    Hashtbl.remove g.adj.(v) u;
+    g.m <- g.m - 1;
+    true
+  end
+  else false
+
+let degree g v =
+  check_node g v;
+  Hashtbl.length g.adj.(v)
+
+let iter_neighbors g v f =
+  check_node g v;
+  Hashtbl.iter (fun u () -> f u) g.adj.(v)
+
+let neighbors g v =
+  let acc = ref [] in
+  iter_neighbors g v (fun u -> acc := u :: !acc);
+  !acc
+
+let fold_neighbors g v f init =
+  check_node g v;
+  Hashtbl.fold (fun u () acc -> f acc u) g.adj.(v) init
+
+let iter_edges g f =
+  for u = 0 to n g - 1 do
+    Hashtbl.iter (fun v () -> if u < v then f u v) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  !acc
+
+let edge_array g =
+  let out = Array.make g.m (0, 0) in
+  let i = ref 0 in
+  iter_edges g (fun u v ->
+      out.(!i) <- (u, v);
+      incr i);
+  out
+
+let copy g = { adj = Array.map Hashtbl.copy g.adj; m = g.m }
+
+let of_edges size es =
+  let g = create size in
+  List.iter (fun (u, v) -> ignore (add_edge g u v)) es;
+  g
+
+let empty_like g = create (n g)
+
+let is_subgraph h ~of_:g =
+  n h = n g
+  &&
+  let ok = ref true in
+  iter_edges h (fun u v -> if not (mem_edge g u v) then ok := false);
+  !ok
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to n g - 1 do
+    best := max !best (degree g v)
+  done;
+  !best
+
+let min_degree g =
+  if n g = 0 then 0
+  else begin
+    let best = ref max_int in
+    for v = 0 to n g - 1 do
+      best := min !best (degree g v)
+    done;
+    !best
+  end
+
+let is_regular g = n g = 0 || max_degree g = min_degree g
+
+let common_neighbors g u v =
+  check_node g u;
+  check_node g v;
+  (* Scan the smaller adjacency set and probe the larger one. *)
+  let u, v = if degree g u <= degree g v then (u, v) else (v, u) in
+  fold_neighbors g u (fun acc x -> if Hashtbl.mem g.adj.(v) x then x :: acc else acc) []
+
+let pp fmt g =
+  Format.fprintf fmt "graph(n=%d, m=%d)" (n g) (m g);
+  if n g <= 16 then
+    for v = 0 to n g - 1 do
+      let ns = List.sort compare (neighbors g v) in
+      Format.fprintf fmt "@\n  %d: %s" v (String.concat " " (List.map string_of_int ns))
+    done

@@ -1,0 +1,86 @@
+(** Simple undirected graphs on nodes [0 .. n-1].
+
+    This is the central mutable representation used while *constructing*
+    graphs and spanners: adjacency is a hash set per node, so edge insertion,
+    deletion and membership are expected O(1).  Algorithms that only traverse
+    a fixed graph should take a {!Csr.t} snapshot (see {!Csr.of_graph}) for
+    cache-friendly iteration.
+
+    Edges are unordered pairs of distinct nodes; self-loops and parallel edges
+    are rejected/ignored.  In printed form and in edge lists, an edge is
+    normalized as [(u, v)] with [u < v]. *)
+
+type t
+
+type edge = int * int
+(** Normalized edge: [(u, v)] with [u < v]. *)
+
+val create : int -> t
+(** [create n] is the empty graph on [n] nodes. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val add_edge : t -> int -> int -> bool
+(** [add_edge g u v] inserts the edge; returns [false] if it already existed
+    or [u = v].  Raises [Invalid_argument] if an endpoint is out of range. *)
+
+val remove_edge : t -> int -> int -> bool
+(** [remove_edge g u v] deletes the edge; returns [false] if absent. *)
+
+val mem_edge : t -> int -> int -> bool
+(** Edge membership test. *)
+
+val degree : t -> int -> int
+(** Number of neighbors of a node. *)
+
+val neighbors : t -> int -> int list
+(** Neighbor list of a node (unspecified order). *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Iterate over neighbors without materializing a list. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over neighbors. *)
+
+val edges : t -> edge list
+(** All edges, normalized, in unspecified order. *)
+
+val edge_array : t -> edge array
+(** All edges as an array (normalized; unspecified order). *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterate each edge exactly once as [(u, v)] with [u < v]. *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n es] builds a graph on [n] nodes from an edge list (duplicates
+    and self-loops ignored). *)
+
+val empty_like : t -> t
+(** Graph with the same node set and no edges. *)
+
+val is_subgraph : t -> of_:t -> bool
+(** [is_subgraph h ~of_:g] checks [V(h) = V(g)] and [E(h) ⊆ E(g)] — the
+    spanner well-formedness condition of the paper (Section 2). *)
+
+val max_degree : t -> int
+(** Largest node degree ([0] for the empty graph). *)
+
+val min_degree : t -> int
+(** Smallest node degree ([0] for the empty graph on ≥ 1 node). *)
+
+val is_regular : t -> bool
+(** Whether all nodes have equal degree. *)
+
+val common_neighbors : t -> int -> int -> int list
+(** [common_neighbors g u v] lists nodes adjacent to both [u] and [v]; these
+    are exactly the routers of 2-detours with base [{u, v}] (Section 4). *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: node/edge counts and adjacency of small graphs. *)

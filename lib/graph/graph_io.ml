@@ -1,0 +1,59 @@
+let to_channel g oc =
+  Printf.fprintf oc "n %d %d\n" (Graph.n g) (Graph.m g);
+  let edges = Graph.edge_array g in
+  Array.sort compare edges;
+  Array.iter (fun (u, v) -> Printf.fprintf oc "%d %d\n" u v) edges
+
+let write g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel g oc)
+
+let fail line msg = failwith (Printf.sprintf "Graph_io: line %d: %s" line msg)
+
+let of_channel ic =
+  let g = ref None in
+  let expected_m = ref 0 in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       let line = String.trim line in
+       if line <> "" && line.[0] <> '#' then begin
+         let fields =
+           String.split_on_char ' ' line
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun s -> s <> "")
+         in
+         match (!g, fields) with
+         | None, [ "n"; n; m ] -> (
+             match (int_of_string_opt n, int_of_string_opt m) with
+             | Some n, Some m when n >= 0 && m >= 0 ->
+                 g := Some (Graph.create n);
+                 expected_m := m
+             | _ -> fail !line_no "bad header")
+         | None, _ -> fail !line_no "expected header 'n <nodes> <edges>'"
+         | Some graph, [ u; v ] -> (
+             match (int_of_string_opt u, int_of_string_opt v) with
+             | Some u, Some v ->
+                 if u = v then fail !line_no "self-loop"
+                 else if u < 0 || v < 0 || u >= Graph.n graph || v >= Graph.n graph then
+                   fail !line_no "endpoint out of range"
+                 else ignore (Graph.add_edge graph u v)
+             | _ -> fail !line_no "bad edge line")
+         | Some _, _ -> fail !line_no "bad edge line"
+       end
+     done
+   with End_of_file -> ());
+  match !g with
+  | None -> failwith "Graph_io: empty input (missing header)"
+  | Some graph ->
+      if Graph.m graph <> !expected_m then
+        failwith
+          (Printf.sprintf "Graph_io: header declares %d edges but %d were read" !expected_m
+             (Graph.m graph));
+      graph
+
+let read path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

@@ -1,0 +1,28 @@
+(** Plain-text graph serialization.
+
+    Format (one graph per file):
+    {v
+    # optional comment lines
+    n <nodes> <edges>
+    <u> <v>
+    ...
+    v}
+    Edges are written normalized ([u < v]), one per line.  [read] accepts any
+    whitespace separation, ignores blank and [#]-comment lines, deduplicates
+    edges, and rejects self-loops and out-of-range endpoints.
+
+    This lets the CLI operate on externally produced graphs and makes spanner
+    outputs inspectable with standard tools. *)
+
+val write : Graph.t -> string -> unit
+(** [write g path] serializes [g] to [path] (overwrites). *)
+
+val read : string -> Graph.t
+(** [read path] parses a graph.  Raises [Failure] with a line-numbered
+    message on malformed input. *)
+
+val to_channel : Graph.t -> out_channel -> unit
+(** Serialize to an open channel (used by [write] and tests). *)
+
+val of_channel : in_channel -> Graph.t
+(** Parse from an open channel. *)

@@ -1,0 +1,36 @@
+type report = { trials : int; worst_ratio : float; violations : int }
+
+let e_between g s t =
+  let n = Csr.n g in
+  let in_t = Array.make n false in
+  Array.iter (fun v -> in_t.(v) <- true) t;
+  let count = ref 0 in
+  Array.iter
+    (fun u -> Csr.iter_neighbors g u (fun v -> if in_t.(v) then incr count))
+    s;
+  !count
+
+let check ?(trials = 50) rng g ~lambda =
+  let n = Csr.n g in
+  let delta = float_of_int (Array.fold_left max 0 (Array.init n (Csr.degree g))) in
+  let worst = ref 0.0 in
+  let violations = ref 0 in
+  for _ = 1 to trials do
+    (* sizes spread over the scale: from tiny sets to ~n/3 *)
+    let s_size = 1 + Prng.int rng (max 1 (n / 3)) in
+    let t_size = 1 + Prng.int rng (max 1 (n / 3)) in
+    if s_size + t_size <= n then begin
+      let nodes = Prng.sample_distinct rng ~n ~k:(s_size + t_size) in
+      let s = Array.sub nodes 0 s_size in
+      let t = Array.sub nodes s_size t_size in
+      let e = float_of_int (e_between g s t) in
+      let expected = delta /. float_of_int n *. float_of_int s_size *. float_of_int t_size in
+      let allowance = lambda *. sqrt (float_of_int s_size *. float_of_int t_size) in
+      if allowance > 0.0 then begin
+        let ratio = Float.abs (e -. expected) /. allowance in
+        worst := max !worst ratio;
+        if ratio > 1.0 then incr violations
+      end
+    end
+  done;
+  { trials; worst_ratio = !worst; violations = !violations }

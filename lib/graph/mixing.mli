@@ -1,0 +1,27 @@
+(** Expander mixing lemma verification (paper Lemma 3, after [1, 15]).
+
+    For a Δ-regular graph with spectral expansion λ and any node sets S, T:
+    [|e(S,T) − (Δ/n)·|S|·|T|| ≤ λ·√(|S|·|T|)].
+
+    Lemma 4's neighborhood-matching bound — the engine of Theorem 2 — is a
+    direct corollary, so the harness verifies the mixing inequality
+    empirically on the same graphs it builds spanners from.  We sample
+    disjoint pairs [S, T], count crossing edges exactly, and report the worst
+    discrepancy as a fraction of the λ·√(|S||T|) allowance (≤ 1 means the
+    lemma holds on every sample). *)
+
+type report = {
+  trials : int;
+  worst_ratio : float;
+      (** max over samples of [|e(S,T) − Δ|S||T|/n| / (λ√(|S||T|))] *)
+  violations : int;  (** samples with ratio > 1 *)
+}
+
+val e_between : Csr.t -> int array -> int array -> int
+(** [e_between g s t] counts edges with one endpoint in [s] and the other in
+    [t] (the sets are expected disjoint; edges inside either set are not
+    counted). *)
+
+val check : ?trials:int -> Prng.t -> Csr.t -> lambda:float -> report
+(** Sample [trials] (default 50) random disjoint set pairs of varied sizes
+    and evaluate the mixing inequality with the given (measured) [λ]. *)

@@ -1,0 +1,20 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used for connectivity repair in sparsifiers and for component counting. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two sets; returns [true] iff they were distinct. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements currently share a set. *)
+
+val count : t -> int
+(** Number of disjoint sets remaining. *)

@@ -1,0 +1,26 @@
+(** Exhaustive small-case verification of the lower-bound lemmas.
+
+    The Theorem 4 pipeline rests on Lemma 18's combinatorial claims about
+    the ray-line gadget ({i any} 3-distance spanner that removes
+    [(k+x+1)/3] edges has congestion stretch [≥ x/4], and at most [k] edges
+    can be removed at all).  For small [k] these are finite statements, so
+    instead of trusting one extremal construction the test suite enumerates
+    {e every} subset of gadget edges, filters the valid 3-spanners, and
+    computes the {e exact} minimum congestion of the adversarial routing
+    problem by branch-and-bound over all bounded-length paths.  *)
+
+val bounded_paths : Graph.t -> src:int -> dst:int -> max_len:int -> Routing.path list
+(** All simple paths from [src] to [dst] of length ≤ [max_len] (DFS).
+    Exponential; intended for gadget-sized graphs. *)
+
+val min_congestion :
+  Graph.t -> Routing.problem -> max_len:int -> (int * Routing.routing) option
+(** Exact minimum node congestion over all routings whose paths are simple
+    and of length ≤ [max_len]; [None] if some request has no such path.
+    Branch-and-bound, fewest-paths-first. *)
+
+val all_three_spanners : Graph.t -> (Graph.t * (int * int) array) list
+(** Every spanner of [g] obtained by removing a subset of edges that is
+    still a 3-distance spanner, paired with its removed edge set (the empty
+    removal included).  Enumerates [2^{|E|}] subsets — gadget-sized inputs
+    only. *)

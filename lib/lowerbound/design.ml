@@ -1,0 +1,51 @@
+type t = { n : int; subsets : int array array }
+
+let pair_key n x y = if x < y then (x * n) + y else (y * n) + x
+
+let make rng ~n ~subset_size ~count =
+  if subset_size < 1 || subset_size > n then invalid_arg "Design.make: bad subset size";
+  let used_pairs = Hashtbl.create (4 * count * subset_size) in
+  let sample_subset () =
+    let retries = 1000 in
+    let rec attempt r =
+      if r >= retries then
+        failwith "Design.make: could not place a subset (parameters too dense)";
+      let s = Prng.sample_distinct rng ~n ~k:subset_size in
+      let ok = ref true in
+      for i = 0 to subset_size - 1 do
+        for j = i + 1 to subset_size - 1 do
+          if Hashtbl.mem used_pairs (pair_key n s.(i) s.(j)) then ok := false
+        done
+      done;
+      if !ok then begin
+        for i = 0 to subset_size - 1 do
+          for j = i + 1 to subset_size - 1 do
+            Hashtbl.add used_pairs (pair_key n s.(i) s.(j)) ()
+          done
+        done;
+        s
+      end
+      else attempt (r + 1)
+    in
+    attempt 0
+  in
+  { n; subsets = Array.init count (fun _ -> sample_subset ()) }
+
+let element_loads t =
+  let loads = Array.make t.n 0 in
+  Array.iter (fun s -> Array.iter (fun x -> loads.(x) <- loads.(x) + 1) s) t.subsets;
+  loads
+
+let max_pairwise_intersection t =
+  let worst = ref 0 in
+  let count = Array.length t.subsets in
+  for i = 0 to count - 1 do
+    let set = Hashtbl.create (Array.length t.subsets.(i)) in
+    Array.iter (fun x -> Hashtbl.replace set x ()) t.subsets.(i);
+    for j = i + 1 to count - 1 do
+      let inter = ref 0 in
+      Array.iter (fun x -> if Hashtbl.mem set x then incr inter) t.subsets.(j);
+      worst := max !worst !inter
+    done
+  done;
+  !worst

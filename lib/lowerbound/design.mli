@@ -1,0 +1,27 @@
+(** The Lemma 19 subset design.
+
+    For a ground set [N] of size [n], Lemma 19 (probabilistic method) gives
+    [count] subsets of size [subset_size] such that (i) every element lies in
+    [Θ(n^{1/6})] subsets and (ii) any two subsets share at most one element.
+    We realize it constructively: sample subsets uniformly and reject a draw
+    whenever it would reuse a {e pair} of elements already covered by an
+    earlier subset — exactly the pairwise-intersection-≤-1 condition.
+    Concentration gives the balanced element loads, which the test suite and
+    the Theorem 4 bench verify. *)
+
+type t = {
+  n : int;  (** ground-set size *)
+  subsets : int array array;  (** the sampled subsets *)
+}
+
+val make : Prng.t -> n:int -> subset_size:int -> count:int -> t
+(** Sample the design.  Raises [Failure] if a subset cannot be placed after
+    many retries (parameters too dense — needs
+    [count · subset_size² ≲ n²/2]). *)
+
+val element_loads : t -> int array
+(** How many subsets each ground element belongs to. *)
+
+val max_pairwise_intersection : t -> int
+(** Largest intersection size over all subset pairs (specification: ≤ 1).
+    O(count² · size) — fine at experiment scale, used by tests. *)

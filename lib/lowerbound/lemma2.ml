@@ -1,0 +1,84 @@
+type t = {
+  graph : Graph.t;
+  spanner : Graph.t;
+  size : int;
+  alpha : int;
+  a : int array;
+  b : int array;
+  d : int array array;
+}
+
+(* Each detour chain D_i carries [alpha] interior nodes so the private detour
+   has length alpha + 1 — one more than the stretch bound allows, which is
+   exactly what the Lemma 2 proof uses ("the (alpha+1)-length detour along
+   D_i").  The paper's text gives D_i only alpha-1 nodes, but that makes the
+   detour length alpha and the separation disappears; see DESIGN.md. *)
+let make ~alpha ~size =
+  if alpha < 2 then invalid_arg "Lemma2.make: need alpha >= 2";
+  if size < 1 then invalid_arg "Lemma2.make: need size >= 1";
+  let n_nodes = (2 * size) + (size * alpha) in
+  let g = Graph.create n_nodes in
+  let a = Array.init size (fun i -> i) in
+  let b = Array.init size (fun i -> size + i) in
+  let d = Array.init size (fun i -> Array.init alpha (fun j -> (2 * size) + (i * alpha) + j)) in
+  (* Cliques on A and on B. *)
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      ignore (Graph.add_edge g a.(i) a.(j));
+      ignore (Graph.add_edge g b.(i) b.(j))
+    done
+  done;
+  (* Perfect matching and private detour chains. *)
+  for i = 0 to size - 1 do
+    ignore (Graph.add_edge g a.(i) b.(i));
+    let chain = d.(i) in
+    ignore (Graph.add_edge g a.(i) chain.(0));
+    for j = 0 to alpha - 2 do
+      ignore (Graph.add_edge g chain.(j) chain.(j + 1))
+    done;
+    ignore (Graph.add_edge g chain.(alpha - 1) b.(i))
+  done;
+  let spanner = Graph.copy g in
+  for i = 1 to size - 1 do
+    ignore (Graph.remove_edge spanner a.(i) b.(i))
+  done;
+  { graph = g; spanner; size; alpha; a; b; d }
+
+let matching_problem t =
+  Array.init t.size (fun i -> { Routing.src = t.a.(i); dst = t.b.(i) })
+
+let detour_path t i =
+  Array.concat [ [| t.a.(i) |]; t.d.(i); [| t.b.(i) |] ]
+
+let detour_routing t = Array.init t.size (fun i -> detour_path t i)
+
+let short_routing t =
+  Array.init t.size (fun i ->
+      if i = 0 then [| t.a.(0); t.b.(0) |] else [| t.a.(i); t.a.(0); t.b.(0); t.b.(i) |])
+
+let congestion_2_substitute t routing =
+  let removed u v =
+    (* (a_i, b_i) with i >= 1, in either orientation. *)
+    let i_of x = if x < t.size then Some x else if x < 2 * t.size then Some (x - t.size) else None
+    in
+    match (i_of u, i_of v) with
+    | Some i, Some j when i = j && i >= 1 && u <> v -> Some i
+    | _ -> None
+  in
+  Array.map
+    (fun path ->
+      let out = ref [ path.(0) ] in
+      for idx = 0 to Array.length path - 2 do
+        let u = path.(idx) and v = path.(idx + 1) in
+        (match removed u v with
+        | Some i ->
+            (* Splice the private detour, oriented to start at u. *)
+            let det = detour_path t i in
+            let det = if det.(0) = u then det else Array.init (Array.length det) (fun j -> det.(Array.length det - 1 - j)) in
+            for j = 1 to Array.length det - 1 do
+              out := det.(j) :: !out
+            done
+        | None -> out := v :: !out)
+      done;
+      Array.of_list (List.rev !out))
+    routing

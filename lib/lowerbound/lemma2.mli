@@ -1,0 +1,52 @@
+(** The Lemma 2 separation family.
+
+    Shows that being an [α]-distance spanner {e and} a [β]-congestion spanner
+    does not make a graph an [(α, β)]-DC-spanner: the two stretches must hold
+    for the {e same} substitute routing.
+
+    The graph [G] (for stretch parameter [α] and size [n]) has cliques
+    [A = {a₁ … a_n}] and [B = {b₁ … b_n}], a perfect matching
+    [(a_i, b_i)], and for each [i] a private detour path
+    [a_i – d_{i,1} – … – d_{i,α} – b_i] of length [α + 1].  (The paper's text
+    gives [D_i] only [α−1] nodes, but its proof routes over "the
+    (α+1)-length detour along [D_i]", which needs [α] interior nodes — with
+    [α−1] the detour would satisfy the stretch bound and the separation
+    would vanish.  We follow the proof; see DESIGN.md.)  The spanner [H]
+    removes every matching edge except [(a₁, b₁)].
+
+    - [H] is a 3-distance spanner ([a_i → a₁ → b₁ → b_j]);
+    - [H] is a 2-congestion spanner (route over the private detours);
+    - but a substitute routing of the matching problem that also respects the
+      [α] length bound must push all [n] paths through [(a₁, b₁)]:
+      congestion [n] versus optimal 1. *)
+
+type t = {
+  graph : Graph.t;
+  spanner : Graph.t;
+  size : int;  (** [n], the number of matched pairs *)
+  alpha : int;
+  a : int array;  (** node ids of [a₁ … a_n] *)
+  b : int array;  (** node ids of [b₁ … b_n] *)
+  d : int array array;  (** [d.(i)] = detour chain of pair [i] ([α] nodes) *)
+}
+
+val make : alpha:int -> size:int -> t
+(** Build the instance (requires [alpha ≥ 2], [size ≥ 1]). *)
+
+val matching_problem : t -> Routing.problem
+(** The adversarial routing problem [R = {(a_i, b_i)}]. *)
+
+val detour_routing : t -> Routing.routing
+(** Substitute routing over the private detours: valid in [H], congestion 1,
+    but path length [α + 1 > α] — witnesses the 2-congestion-spanner
+    property while violating the simultaneous length bound. *)
+
+val short_routing : t -> Routing.routing
+(** The only length-[≤ α] substitute shape: [a_i → a₁ → b₁ → b_i].  Valid in
+    [H] with path lengths ≤ 3 but congestion [n] at [a₁] and [b₁]. *)
+
+val congestion_2_substitute : t -> Routing.routing -> Routing.routing
+(** The proof's congestion-preserving transformation: any routing of any
+    problem in [G] is mapped to [H] by replacing each removed matching edge
+    [(a_i, b_i)] with the private detour through [D_i]; congestion at most
+    doubles (Lemma 2's 2-congestion-spanner argument). *)

@@ -1,0 +1,38 @@
+type t = { graph : Graph.t; k : int; s : int }
+
+let a t i =
+  if i < 1 || i > (2 * t.k) + 1 then invalid_arg "Ray_line.a: index out of range";
+  i - 1
+
+let make k =
+  if k < 1 then invalid_arg "Ray_line.make: need k >= 1";
+  let n = (2 * k) + 2 in
+  let g = Graph.create n in
+  let s = n - 1 in
+  (* Line edges (a_i, a_{i+1}) = (i-1, i) for 1 <= i <= 2k. *)
+  for i = 0 to (2 * k) - 1 do
+    ignore (Graph.add_edge g i (i + 1))
+  done;
+  (* Ray edges r_i = (s, a_{2i+1}) for 0 <= i <= k. *)
+  for i = 0 to k do
+    ignore (Graph.add_edge g s (2 * i))
+  done;
+  { graph = g; k; s }
+
+let extremal_spanner t =
+  let h = Graph.copy t.graph in
+  let removed =
+    Array.init t.k (fun j ->
+        let i = j + 1 in
+        (* (a_{2i-1}, a_{2i}) in node indices: (2i-2, 2i-1). *)
+        let e = ((2 * i) - 2, (2 * i) - 1) in
+        ignore (Graph.remove_edge h (fst e) (snd e));
+        e)
+  in
+  (h, removed)
+
+let forced_routing t =
+  Array.init t.k (fun j ->
+      let i = j + 1 in
+      (* a_{2i-1} -> s -> a_{2i+1} -> a_{2i}, i.e. 2i-2 -> s -> 2i -> 2i-1. *)
+      [| (2 * i) - 2; t.s; 2 * i; (2 * i) - 1 |])

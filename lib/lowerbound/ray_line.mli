@@ -1,0 +1,35 @@
+(** The Lemma 18 gadget: a line with rays to a special node.
+
+    The graph has nodes [a₁ … a_{2k+1}] connected in a line, plus a special
+    node [s] with ray edges [r_i = (s, a_{2i+1})] for [0 ≤ i ≤ k]:
+    [|V| = 2k + 2] and [|E| = 3k + 1].  Lemma 18 shows that any 3-distance
+    spanner that removes [(k + x + 1)/3] edges must have congestion stretch
+    [≥ x/4] — removing the most edges possible forces one removed line edge
+    per face, and all their 3-hop substitute paths run through [s].
+
+    Node numbering: [a_i] is node [i - 1] (so [0 .. 2k]), [s] is node
+    [2k + 1]. *)
+
+type t = {
+  graph : Graph.t;
+  k : int;
+  s : int;  (** index of the special node *)
+}
+
+val make : int -> t
+(** [make k] builds the gadget (requires [k ≥ 1]). *)
+
+val a : t -> int -> int
+(** [a t i] is the node index of [aᵢ] ([1 ≤ i ≤ 2k+1]). *)
+
+val extremal_spanner : t -> Graph.t * (int * int) array
+(** The optimal-size 3-distance spanner of the gadget ([x = 2k − 1] in
+    Lemma 18): one line edge removed from every face — edge
+    [(a_{2i-1}, a_{2i})] for each [1 ≤ i ≤ k].  Returns the spanner [H] and
+    the removed set [E₁] (the adversarial routing requests). *)
+
+val forced_routing : t -> Routing.routing
+(** The unique (up to symmetry) length-≤3 substitute routing of the [E₁]
+    requests in the extremal spanner: [a_{2i-1} → s → a_{2i+1} → a_{2i}].
+    Every path crosses [s], so its congestion is [k] while [E₁] itself routes
+    with congestion 1 in [G]. *)

@@ -1,0 +1,60 @@
+type instance = { special : int; line : int array }
+
+type t = { graph : Graph.t; instances : instance array; k : int; pool : int }
+
+let default_k ~pool =
+  let two_k = (float_of_int pool /. 17.0) ** (1.0 /. 6.0) in
+  max 1 (int_of_float (Float.round (two_k /. 2.0)))
+
+let make rng ~pool ~instances ~k =
+  if k < 1 then invalid_arg "Theorem4.make: need k >= 1";
+  let line_size = (2 * k) + 1 in
+  let design = Design.make rng ~n:pool ~subset_size:line_size ~count:instances in
+  let graph = Graph.create (pool + instances) in
+  let inst =
+    Array.mapi
+      (fun i line ->
+        let special = pool + i in
+        (* Line edges a_j — a_{j+1}. *)
+        for j = 0 to line_size - 2 do
+          ignore (Graph.add_edge graph line.(j) line.(j + 1))
+        done;
+        (* Ray edges (s, a_{2t+1}) for 0 <= t <= k: odd-indexed a's are the
+           even positions of the 0-based [line] array. *)
+        for t = 0 to k do
+          ignore (Graph.add_edge graph special line.(2 * t))
+        done;
+        { special; line })
+      design.Design.subsets
+  in
+  { graph; instances = inst; k; pool }
+
+let removed_edges t inst =
+  Array.init t.k (fun j ->
+      let i = j + 1 in
+      (inst.line.((2 * i) - 2), inst.line.((2 * i) - 1)))
+
+let optimal_spanner t =
+  let h = Graph.copy t.graph in
+  let removed =
+    Array.map
+      (fun inst ->
+        let edges = removed_edges t inst in
+        Array.iter (fun (u, v) -> ignore (Graph.remove_edge h u v)) edges;
+        edges)
+      t.instances
+  in
+  (h, removed)
+
+let forced_routing t i =
+  let inst = t.instances.(i) in
+  Array.init t.k (fun j ->
+      let idx = j + 1 in
+      (* a_{2i-1} -> s -> a_{2i+1} -> a_{2i}. *)
+      [|
+        inst.line.((2 * idx) - 2); inst.special; inst.line.(2 * idx); inst.line.((2 * idx) - 1);
+      |])
+
+let edge_routing t i =
+  let inst = t.instances.(i) in
+  Array.map (fun (u, v) -> [| u; v |]) (removed_edges t inst)

@@ -1,0 +1,42 @@
+(** The Theorem 4 lower-bound graph.
+
+    [instances] copies of the Lemma 18 gadget share a common pool of line
+    nodes: instance [i] owns a private special node [s_i] and draws its
+    [2k+1] line nodes from a Lemma 19 design subset, so that all instances
+    are pairwise edge-disjoint while each pool node serves [Θ(n^{1/6})]
+    instances.  Any optimal-size 3-distance spanner must apply the extremal
+    Lemma 18 removal inside every instance, and the per-instance adversarial
+    routing then forces congestion [k] through [s_i] against an optimum of 1:
+    congestion stretch [Ω(n^{1/6})] at [Ω(n^{7/6})] spanner edges. *)
+
+type instance = {
+  special : int;  (** node index of [s_i] *)
+  line : int array;  (** pool node indices of [a₁ … a_{2k+1}], in gadget order *)
+}
+
+type t = {
+  graph : Graph.t;
+  instances : instance array;
+  k : int;
+  pool : int;  (** number of shared line-pool nodes (they are nodes [0 .. pool-1]) *)
+}
+
+val default_k : pool:int -> int
+(** The paper's parameterization: [2k = (pool/17)^{1/6}], at least 1. *)
+
+val make : Prng.t -> pool:int -> instances:int -> k:int -> t
+(** Build the composed graph.  Raises if the Lemma 19 design cannot be
+    sampled at these parameters. *)
+
+val optimal_spanner : t -> Graph.t * (int * int) array array
+(** Apply the extremal Lemma 18 spanner inside every instance; returns the
+    spanner and, per instance, the removed edges [E₁] (the adversarial
+    requests). *)
+
+val forced_routing : t -> int -> Routing.routing
+(** [forced_routing t i]: the length-3 substitute routing of instance [i]'s
+    removed edges in the optimal spanner — every path crosses [s_i]. *)
+
+val edge_routing : t -> int -> Routing.routing
+(** The optimal routing of the same requests in [G]: each request is an edge
+    of [G], so the routing is the edges themselves (congestion 1). *)

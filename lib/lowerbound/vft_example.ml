@@ -1,0 +1,25 @@
+type t = { graph : Graph.t; spanner : Graph.t; half : int; kept : int array }
+
+let make n =
+  if n < 4 || n mod 2 <> 0 then invalid_arg "Vft_example.make: need even n >= 4";
+  let graph = Generators.two_cliques_matching n in
+  let half = n / 2 in
+  let f = int_of_float (ceil (float_of_int n ** (1.0 /. 3.0))) in
+  let keep = min half (f + 1) in
+  let kept = Array.init keep (fun i -> i) in
+  let spanner = Graph.copy graph in
+  for i = keep to half - 1 do
+    ignore (Graph.remove_edge spanner i (half + i))
+  done;
+  { graph; spanner; half; kept }
+
+let matching_problem t =
+  Array.init t.half (fun i -> { Routing.src = i; dst = t.half + i })
+
+let route t rng =
+  Array.init t.half (fun i ->
+      if Graph.mem_edge t.spanner i (t.half + i) then [| i; t.half + i |]
+      else begin
+        let j = Prng.pick rng t.kept in
+        [| i; j; t.half + j; t.half + i |]
+      end)

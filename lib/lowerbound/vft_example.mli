@@ -1,0 +1,29 @@
+(** The Figure 1 example: fault-tolerant spanners do not control congestion.
+
+    [G] is two cliques of size [n/2] joined by a perfect matching.  An
+    [f]-vertex-fault-tolerant 3-spanner of the size the paper compares
+    against ([f = ⌈n^{1/3}⌉]) may keep only [f + 1] matching edges; the
+    perfect-matching routing problem then forces [Ω(n^{2/3})] congestion on
+    the endpoints of the kept matching edges, even though its congestion in
+    [G] is 1. *)
+
+type t = {
+  graph : Graph.t;
+  spanner : Graph.t;
+  half : int;  (** clique size [n/2]; node [i < half] is matched to [i + half] *)
+  kept : int array;  (** indices [i] whose matching edge [(i, i+half)] was kept *)
+}
+
+val make : int -> t
+(** [make n] builds the graph and the VFT-style spanner keeping
+    [⌈n^{1/3}⌉ + 1] matching edges (cliques left intact).  Requires even
+    [n ≥ 4]. *)
+
+val matching_problem : t -> Routing.problem
+(** The perfect matching [(i, i + half)] as a routing problem (congestion 1
+    in [G]). *)
+
+val route : t -> Prng.t -> Routing.routing
+(** Substitute routing in the spanner: a removed pair [(i, i+half)] routes
+    [i → j → j+half → i+half] across a uniformly random kept matching edge
+    [j] — the least-congested strategy available, still [Ω(n^{2/3})]. *)

@@ -1,0 +1,94 @@
+(* Hopcroft–Karp over index spaces [0..l-1] (left) and [0..r-1] (right). *)
+
+let infinity_dist = max_int
+
+let hopcroft_karp ~l ~r ~edges =
+  (* edges.(i) : list of right indices adjacent to left index i *)
+  ignore r;
+  let match_l = Array.make l (-1) in
+  let match_r = Array.make r (-1) in
+  let dist = Array.make l infinity_dist in
+  let queue = Queue.create () in
+  let bfs () =
+    Queue.clear queue;
+    for i = 0 to l - 1 do
+      if match_l.(i) < 0 then begin
+        dist.(i) <- 0;
+        Queue.add i queue
+      end
+      else dist.(i) <- infinity_dist
+    done;
+    let reachable_free = ref false in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      List.iter
+        (fun j ->
+          let next = match_r.(j) in
+          if next < 0 then reachable_free := true
+          else if dist.(next) = infinity_dist then begin
+            dist.(next) <- dist.(i) + 1;
+            Queue.add next queue
+          end)
+        edges.(i)
+    done;
+    !reachable_free
+  in
+  let rec dfs i =
+    let rec try_edges = function
+      | [] ->
+          dist.(i) <- infinity_dist;
+          false
+      | j :: rest ->
+          let next = match_r.(j) in
+          let ok = if next < 0 then true else if dist.(next) = dist.(i) + 1 then dfs next else false in
+          if ok then begin
+            match_l.(i) <- j;
+            match_r.(j) <- i;
+            true
+          end
+          else try_edges rest
+    in
+    try_edges edges.(i)
+  in
+  while bfs () do
+    for i = 0 to l - 1 do
+      if match_l.(i) < 0 then ignore (dfs i)
+    done
+  done;
+  match_l
+
+let maximum ~left ~right ~adj =
+  let l = Array.length left and r = Array.length right in
+  let edges =
+    Array.init l (fun i ->
+        let acc = ref [] in
+        for j = r - 1 downto 0 do
+          if adj left.(i) right.(j) then acc := j :: !acc
+        done;
+        !acc)
+  in
+  let match_l = hopcroft_karp ~l ~r ~edges in
+  let out = ref [] in
+  Array.iteri (fun i j -> if j >= 0 then out := (left.(i), right.(j)) :: !out) match_l;
+  Array.of_list (List.rev !out)
+
+let neighborhood_matching g u v =
+  (* Sorted neighbor lists make the result canonical: it depends only on the
+     edge set, not on adjacency-hashtable iteration order.  The distributed
+     router relies on this to reproduce the centralized choice from local
+     knowledge. *)
+  let nu = List.sort compare (Graph.neighbors g u) in
+  let nv = List.sort compare (Graph.neighbors g v) in
+  let in_nv = Hashtbl.create (List.length nv) in
+  List.iter (fun x -> Hashtbl.replace in_nv x ()) nv;
+  let in_nu = Hashtbl.create (List.length nu) in
+  List.iter (fun x -> Hashtbl.replace in_nu x ()) nu;
+  let commons = List.filter (fun x -> Hashtbl.mem in_nv x && x <> v && x <> u) nu in
+  let left =
+    Array.of_list (List.filter (fun x -> (not (Hashtbl.mem in_nv x)) && x <> v && x <> u) nu)
+  in
+  let right =
+    Array.of_list (List.filter (fun x -> (not (Hashtbl.mem in_nu x)) && x <> u && x <> v) nv)
+  in
+  let matched = maximum ~left ~right ~adj:(fun x y -> Graph.mem_edge g x y) in
+  (commons, matched)

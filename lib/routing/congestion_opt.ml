@@ -1,0 +1,259 @@
+(* Node-weighted, hop-bounded shortest path via Dijkstra on the layered
+   graph (node, hops): finds the minimum-total-node-weight path from src to
+   dst among paths of length <= bound.  Node weights penalize load
+   exponentially, the classic potential that keeps the online maximum low. *)
+
+let weight load = 4.0 ** float_of_int (min load 30)
+
+module Pq = struct
+  (* Binary min-heap over (cost, state id). *)
+  type t = { mutable data : (float * int) array; mutable len : int }
+
+  let create () = { data = Array.make 64 (0.0, 0); len = 0 }
+
+  let swap t i j =
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(j);
+    t.data.(j) <- tmp
+
+  let push t cost v =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) t.data.(0) in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- (cost, v);
+    let i = ref t.len in
+    t.len <- t.len + 1;
+    while !i > 0 && fst t.data.((!i - 1) / 2) > fst t.data.(!i) do
+      swap t !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.len <- t.len - 1;
+      t.data.(0) <- t.data.(t.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && fst t.data.(l) < fst t.data.(!smallest) then smallest := l;
+        if r < t.len && fst t.data.(r) < fst t.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap t !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+(* Min-weight path from src to dst using at most [bound] hops; [dist_dst]
+   prunes states that cannot reach dst in the remaining budget. *)
+let weighted_bounded_path g ~loads ~src ~dst ~bound ~dist_dst =
+  let n = Csr.n g in
+  let states = n * (bound + 1) in
+  let best = Array.make states infinity in
+  let parent = Array.make states (-1) in
+  let id v t = (v * (bound + 1)) + t in
+  let pq = Pq.create () in
+  let start_cost = weight loads.(src) in
+  best.(id src 0) <- start_cost;
+  Pq.push pq start_cost (id src 0);
+  let answer = ref None in
+  let continue = ref true in
+  while !continue do
+    match Pq.pop pq with
+    | None -> continue := false
+    | Some (cost, s) ->
+        if cost <= best.(s) then begin
+          let v = s / (bound + 1) and t = s mod (bound + 1) in
+          if v = dst then begin
+            answer := Some s;
+            continue := false
+          end
+          else if t < bound then
+            Csr.iter_neighbors g v (fun u ->
+                if dist_dst.(u) >= 0 && t + 1 + dist_dst.(u) <= bound then begin
+                  let s' = id u (t + 1) in
+                  let cost' = cost +. weight loads.(u) in
+                  if cost' < best.(s') then begin
+                    best.(s') <- cost';
+                    parent.(s') <- s;
+                    Pq.push pq cost' s'
+                  end
+                end)
+        end
+  done;
+  match !answer with
+  | None -> None
+  | Some s ->
+      let rec build s acc =
+        let v = s / (bound + 1) in
+        if parent.(s) < 0 then v :: acc else build parent.(s) (v :: acc)
+      in
+      Some (Array.of_list (build s []))
+
+let add_path loads path delta =
+  (* count each path once per node even on revisits *)
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        loads.(v) <- loads.(v) + delta
+      end)
+    path
+
+let route_with_fallback g problem =
+  Array.map
+    (fun { Routing.src; dst } ->
+      match Bfs.shortest_path g src dst with
+      | Some p -> p
+      | None -> failwith "Congestion_opt.route: disconnected request")
+    problem
+
+let route ?(rounds = 3) ?(slack = 0) g rng problem =
+  let n = Csr.n g in
+  let k = Array.length problem in
+  let loads = Array.make n 0 in
+  let paths = Array.make k [||] in
+  (* Per-request data: distance bound and reverse BFS distances. *)
+  let bounds = Array.make k 0 in
+  let dist_dsts = Array.make k [||] in
+  Array.iteri
+    (fun i { Routing.src; dst } ->
+      let dist_dst = Bfs.distances g dst in
+      if dist_dst.(src) < 0 then failwith "Congestion_opt.route: disconnected request";
+      dist_dsts.(i) <- dist_dst;
+      bounds.(i) <- dist_dst.(src) + slack)
+    problem;
+  let route_one i =
+    let { Routing.src; dst } = problem.(i) in
+    match
+      weighted_bounded_path g ~loads ~src ~dst ~bound:bounds.(i) ~dist_dst:dist_dsts.(i)
+    with
+    | Some p ->
+        paths.(i) <- p;
+        add_path loads p 1
+    | None -> failwith "Congestion_opt.route: no bounded path (internal)"
+  in
+  let order = Prng.permutation rng k in
+  Array.iter route_one order;
+  (* Rip-up and reroute the paths through the hottest nodes. *)
+  for _ = 2 to rounds do
+    let cmax = Array.fold_left max 0 loads in
+    if cmax > 1 then begin
+      let hot = Array.map (fun l -> l = cmax) loads in
+      let victims = ref [] in
+      Array.iteri
+        (fun i p -> if Array.exists (fun v -> hot.(v)) p then victims := i :: !victims)
+        paths;
+      let victims = Array.of_list !victims in
+      Prng.shuffle rng victims;
+      Array.iter (fun i -> add_path loads paths.(i) (-1)) victims;
+      Array.iter route_one victims
+    end
+  done;
+  (* Portfolio guarantee: never return anything worse than plain
+     shortest-path routing (both deterministic and one randomized draw are
+     valid slack-0 routings, so they are admissible here too). *)
+  let n = Csr.n g in
+  let det = route_with_fallback g problem in
+  let rnd =
+    Array.map
+      (fun { Routing.src; dst } ->
+        match Bfs.random_shortest_path g rng src dst with
+        | Some p -> p
+        | None -> failwith "Congestion_opt.route: disconnected request")
+      problem
+  in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        if Routing.congestion ~n cand < Routing.congestion ~n acc then cand else acc)
+      paths [ det; rnd ]
+  in
+  best
+
+let congestion ?rounds ?slack g rng problem =
+  let paths = route ?rounds ?slack g rng problem in
+  Routing.congestion ~n:(Csr.n g) paths
+
+(* ---- exact optimum over shortest paths (tiny instances) ---- *)
+
+let enumerate_shortest_paths g ~src ~dst ~cap =
+  let dist_src = Bfs.distances g src in
+  let dist_dst = Bfs.distances g dst in
+  if dist_dst.(src) < 0 then None
+  else begin
+    let d = dist_dst.(src) in
+    let out = ref [] in
+    let count = ref 0 in
+    let overflow = ref false in
+    let rec dfs v acc =
+      if not !overflow then begin
+        if v = dst then begin
+          incr count;
+          if !count > cap then overflow := true
+          else out := Array.of_list (List.rev (v :: acc)) :: !out
+        end
+        else
+          Csr.iter_neighbors g v (fun u ->
+              if dist_src.(u) = dist_src.(v) + 1 && dist_src.(u) + dist_dst.(u) = d then
+                dfs u (v :: acc))
+      end
+    in
+    dfs src [];
+    if !overflow then None else Some (Array.of_list !out)
+  end
+
+let exact ?(max_paths = 2000) g problem =
+  let n = Csr.n g in
+  let k = Array.length problem in
+  let all_paths = Array.make k [||] in
+  let feasible = ref true in
+  Array.iteri
+    (fun i { Routing.src; dst } ->
+      match enumerate_shortest_paths g ~src ~dst ~cap:max_paths with
+      | Some ps when Array.length ps > 0 -> all_paths.(i) <- ps
+      | _ -> feasible := false)
+    problem;
+  if not !feasible then None
+  else begin
+    (* Branch and bound, fewest-choices-first. *)
+    let order = Array.init k (fun i -> i) in
+    Array.sort (fun a b -> compare (Array.length all_paths.(a)) (Array.length all_paths.(b))) order;
+    let loads = Array.make n 0 in
+    let chosen = Array.make k [||] in
+    let best_c = ref max_int in
+    let best_routing = ref None in
+    let rec search idx current_max =
+      if current_max < !best_c then begin
+        if idx = k then begin
+          best_c := current_max;
+          best_routing := Some (Array.copy chosen)
+        end
+        else begin
+          let req = order.(idx) in
+          Array.iter
+            (fun p ->
+              add_path loads p 1;
+              let local_max =
+                Array.fold_left (fun acc v -> max acc loads.(v)) current_max p
+              in
+              chosen.(req) <- p;
+              search (idx + 1) local_max;
+              add_path loads p (-1))
+            all_paths.(req)
+        end
+      end
+    in
+    search 0 0;
+    match !best_routing with None -> None | Some r -> Some (!best_c, r)
+  end

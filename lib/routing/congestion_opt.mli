@@ -1,0 +1,40 @@
+(** Congestion-minimizing routing heuristics.
+
+    The paper's congestion stretch compares against [C_G(R)], the {e optimal}
+    congestion of the problem on [G].  Computing it is NP-hard in general,
+    so the experiments need good baselines:
+
+    - for matching problems over [G]-edges the optimum is trivially 1;
+    - for everything else, {!route} improves on randomized shortest-path
+      routing by (a) inserting requests in a congestion-aware order, routing
+      each along a path that is shortest under node weights that penalize
+      already-loaded nodes, and (b) iteratively ripping up and rerouting the
+      paths through the current maximum-congestion nodes (the classic
+      rip-up-and-reroute scheme from VLSI routing);
+    - for tiny instances {!exact} finds the true optimum by exhaustive
+      branch-and-bound over near-shortest paths, which the test suite uses
+      to validate the heuristic.
+
+    Paths produced are simple and at most [slack] hops longer than shortest
+    (default 0: only shortest paths are considered, so the result is also a
+    valid routing for distance-stretch purposes). *)
+
+val route :
+  ?rounds:int -> ?slack:int -> Csr.t -> Prng.t -> Routing.problem -> Routing.routing
+(** [route g rng problem] returns a low-congestion routing.  [rounds]
+    (default 3) rip-up-and-reroute passes; [slack] (default 0) extra hops
+    allowed over the shortest path for each request.  Guaranteed never worse
+    than plain shortest-path routing: the result is the best of the
+    optimizer's output, a deterministic-SP routing and a randomized-SP
+    routing (a portfolio). *)
+
+val congestion : ?rounds:int -> ?slack:int -> Csr.t -> Prng.t -> Routing.problem -> int
+(** Congestion of {!route}'s result — the [C_G(R)] baseline used by the
+    experiment harness. *)
+
+val exact : ?max_paths:int -> Csr.t -> Routing.problem -> (int * Routing.routing) option
+(** [exact g problem] computes the optimal congestion over all routings whose
+    paths are shortest paths, by branch-and-bound over each request's
+    shortest-path set.  Returns [None] when some request enumerates more than
+    [max_paths] (default 2000) shortest paths or the search is otherwise
+    infeasible.  Exponential: intended for [n ≲ 30], tests only. *)

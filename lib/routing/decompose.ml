@@ -1,0 +1,167 @@
+type matching_router = (int * int) array -> Routing.path array
+
+type stats = {
+  levels : int;
+  degree_sum : int;
+  matchings : int;
+  max_level_degree : int;
+}
+
+type result = { substitute : Routing.routing; stats : stats }
+
+let norm u v = if u < v then (u, v) else (v, u)
+
+(* The paper's level loop (Algorithm 2, lines 4–10) pops, at every level, one
+   owning path per live edge.  Equivalently: if an edge is used by paths
+   [p₁ … p_t] (in scan order), the pair [(p_i, e)] gets level [i-1], and the
+   level subgraph [Y_k] consists of the edges with more than [k] owners.  We
+   compute that closed form directly. *)
+let assign_levels routing =
+  let owners = Hashtbl.create 1024 in
+  (* level_of : (path_index, edge) -> level *)
+  let level_of = Hashtbl.create 1024 in
+  Array.iteri
+    (fun pi path ->
+      for i = 0 to Array.length path - 2 do
+        let e = norm path.(i) path.(i + 1) in
+        let count = try Hashtbl.find owners e with Not_found -> 0 in
+        Hashtbl.replace owners e (count + 1);
+        (* A simple path uses each edge once; if a degenerate path repeats an
+           edge we keep the first (lowest) level for it, matching the set
+           semantics of A_p. *)
+        if not (Hashtbl.mem level_of (pi, e)) then Hashtbl.add level_of (pi, e) count
+      done)
+    routing;
+  let max_level = Hashtbl.fold (fun _ c acc -> max acc c) owners 0 in
+  (owners, level_of, max_level)
+
+(* The paper's while-loop, literally (for cross-checking the closed form):
+   pick, per level, one owning path per live edge, in ascending path order. *)
+let literal_levels routing =
+  let a_sets =
+    Array.map
+      (fun path ->
+        let set = Hashtbl.create 8 in
+        for i = 0 to Array.length path - 2 do
+          Hashtbl.replace set (norm path.(i) path.(i + 1)) ()
+        done;
+        set)
+      routing
+  in
+  let out = ref [] in
+  let level = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* Y_r = union of the remaining A_p *)
+    let owners = Hashtbl.create 64 in
+    Array.iteri
+      (fun pi set ->
+        Hashtbl.iter
+          (fun e () -> if not (Hashtbl.mem owners e) then Hashtbl.add owners e pi)
+          set)
+      a_sets;
+    if Hashtbl.length owners = 0 then continue := false
+    else begin
+      Hashtbl.iter
+        (fun e pi ->
+          Hashtbl.remove a_sets.(pi) e;
+          out := ((pi, e), !level) :: !out)
+        owners;
+      incr level
+    end
+  done;
+  !out
+
+let level_graphs ~n routing =
+  let owners, level_of, max_level = assign_levels routing in
+  let graphs = Array.init max_level (fun _ -> Graph.create n) in
+  Hashtbl.iter
+    (fun (u, v) count ->
+      for k = 0 to count - 1 do
+        ignore (Graph.add_edge graphs.(k) u v)
+      done)
+    owners;
+  (graphs, level_of)
+
+let level_matchings ~n routing =
+  let graphs, _ = level_graphs ~n routing in
+  Array.to_list graphs
+  |> List.concat_map (fun g ->
+         let coloring = Edge_coloring.misra_gries g in
+         Array.to_list (Edge_coloring.color_classes coloring))
+  |> Array.of_list
+
+let run ~n ~router routing =
+  let graphs, level_of = level_graphs ~n routing in
+  let levels = Array.length graphs in
+  (* replacement : (level, edge) -> spanner path oriented by the normalized
+     edge (from min endpoint to max endpoint). *)
+  let replacement = Hashtbl.create 1024 in
+  let degree_sum = ref 0 in
+  let matchings = ref 0 in
+  let max_level_degree = ref 0 in
+  Array.iteri
+    (fun k g ->
+      let d = Graph.max_degree g in
+      degree_sum := !degree_sum + d + 1;
+      max_level_degree := max !max_level_degree d;
+      let coloring = Edge_coloring.misra_gries g in
+      let classes = Edge_coloring.color_classes coloring in
+      Array.iter
+        (fun matching ->
+          if Array.length matching > 0 then begin
+            incr matchings;
+            let paths = router matching in
+            if Array.length paths <> Array.length matching then
+              failwith "Decompose.run: router returned wrong number of paths";
+            Array.iteri
+              (fun i (u, v) ->
+                let p = paths.(i) in
+                let len = Array.length p in
+                if len = 0 || p.(0) <> u || p.(len - 1) <> v then
+                  failwith "Decompose.run: router path endpoints mismatch";
+                Hashtbl.replace replacement (k, norm u v) p)
+              matching
+          end)
+        classes)
+    graphs;
+  let reverse p =
+    let len = Array.length p in
+    Array.init len (fun i -> p.(len - 1 - i))
+  in
+  let splice pi path =
+    if Array.length path <= 1 then path
+    else begin
+      let out = ref [ path.(0) ] in
+      for i = 0 to Array.length path - 2 do
+        let a = path.(i) and b = path.(i + 1) in
+        let e = norm a b in
+        let k =
+          match Hashtbl.find_opt level_of (pi, e) with
+          | Some k -> k
+          | None -> assert false
+        in
+        let q =
+          match Hashtbl.find_opt replacement (k, e) with
+          | Some q -> q
+          | None -> assert false
+        in
+        let q = if q.(0) = a then q else reverse q in
+        for j = 1 to Array.length q - 1 do
+          out := q.(j) :: !out
+        done
+      done;
+      Array.of_list (List.rev !out)
+    end
+  in
+  let substitute = Array.mapi splice routing in
+  {
+    substitute;
+    stats =
+      {
+        levels;
+        degree_sum = !degree_sum;
+        matchings = !matchings;
+        max_level_degree = !max_level_degree;
+      };
+  }

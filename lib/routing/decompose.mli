@@ -1,0 +1,53 @@
+(** Algorithm 2: substitute routings via matchings (paper Section 6).
+
+    Given a routing [P] on [G] and a way to route any {e matching} of
+    [G]-edges on a spanner [H], this module constructs a substitute routing
+    [P'] on [H]:
+
+    + every edge of every path is assigned a {e level}: an edge used by [t]
+      paths appears in the nested level subgraphs [Y_0 ⊇ Y_1 ⊇ … ⊇ Y_{t-1}],
+      once per owning path (paper's while-loop, lines 4–10);
+    + each level subgraph [G_k] is properly edge-colored with
+      [m_k ≤ d_k + 1] colors (Misra–Gries), so each color class is a matching
+      [M_{k,i}];
+    + each matching is routed on [H] by the caller-supplied router, and the
+      replacement paths are spliced back into the original paths.
+
+    Lemma 21/22 give [Σ_k (d_k + 1) ≤ 12·C(P)·log n] and hence congestion
+    [C(P') ≤ 12·β'·C(P)·log n] when the router guarantees congestion [β'] per
+    matching; Lemma 23 bounds the number of distinct matchings by [O(n³)].
+    The benchmark harness measures all three quantities. *)
+
+type matching_router = (int * int) array -> Routing.path array
+(** [route pairs] must return one path per pair, oriented from the first to
+    the second element, using only spanner edges.  Pairs within one call form
+    a matching. *)
+
+type stats = {
+  levels : int;  (** [r], the number of level subgraphs *)
+  degree_sum : int;  (** [Σ_k (d_k + 1)] — bounded by [12·C(P)·log n] (Lemma 21) *)
+  matchings : int;  (** total number of matchings routed *)
+  max_level_degree : int;  (** [d_1], the largest level degree *)
+}
+
+type result = { substitute : Routing.routing; stats : stats }
+
+val run : n:int -> router:matching_router -> Routing.routing -> result
+(** Full Algorithm 2.  [n] is the node count of the underlying graphs.
+    Raises if the router returns a path with wrong endpoints (corrupted
+    splice would silently mis-route otherwise). *)
+
+val literal_levels : Routing.routing -> ((int * (int * int)) * int) list
+(** The paper's Algorithm 2 while-loop (lines 1–10), executed literally:
+    maintain the per-path edge sets [A_p]; while any is non-empty, form
+    [Y_r = ∪ A_p], pick for every edge of [Y_r] one owning path, remove the
+    edge from it and record level [r] for the pair [(p, e)].  Returns the
+    [(path index, edge) → level] assignment.  Exposed so the test suite can
+    assert it coincides with the closed-form assignment {!run} uses (an edge
+    used by [t] paths appears once per level [0 .. t-1]). *)
+
+val level_matchings : n:int -> Routing.routing -> (int * int) array array
+(** Just the decomposition: all matchings [M_{k,i}] produced across levels;
+    exposed for the Lemma 23 measurements and for property tests (each
+    returned class is a matching; their multiset union is exactly the
+    multiset of path edges). *)

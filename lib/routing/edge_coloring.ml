@@ -1,0 +1,153 @@
+type t = { colors : (int * int, int) Hashtbl.t; num : int }
+
+let norm u v = if u < v then (u, v) else (v, u)
+
+(* Misra & Gries (1992).  State: [at.(v).(c)] is the neighbor joined to [v] by
+   the edge colored [c], or -1.  Colors range over [0 .. max_degree]. *)
+let misra_gries g =
+  let n = Graph.n g in
+  let ncolors = Graph.max_degree g + 1 in
+  let at = Array.init n (fun _ -> Array.make (max ncolors 1) (-1)) in
+  let tbl = Hashtbl.create (2 * Graph.m g) in
+  let color_of u v = Hashtbl.find_opt tbl (norm u v) in
+  let set u v c =
+    at.(u).(c) <- v;
+    at.(v).(c) <- u;
+    Hashtbl.replace tbl (norm u v) c
+  in
+  let unset u v =
+    match color_of u v with
+    | None -> ()
+    | Some c ->
+        at.(u).(c) <- -1;
+        at.(v).(c) <- -1;
+        Hashtbl.remove tbl (norm u v)
+  in
+  let free v =
+    let rec go c = if at.(v).(c) < 0 then c else go (c + 1) in
+    go 0
+  in
+  let is_free v c = at.(v).(c) < 0 in
+  (* Invert the maximal path through [start] of edges alternately colored
+     [d], [c] (starting with [d]). *)
+  let invert_path start c d =
+    let rec collect node col acc =
+      let next = at.(node).(col) in
+      if next < 0 then acc
+      else collect next (if col = d then c else d) ((node, next) :: acc)
+    in
+    let path_edges = List.rev (collect start d []) in
+    let colored =
+      List.map
+        (fun (a, b) ->
+          match color_of a b with
+          | Some col -> (a, b, col)
+          | None -> assert false)
+        path_edges
+    in
+    List.iter (fun (a, b, _) -> unset a b) colored;
+    List.iter (fun (a, b, col) -> set a b (if col = d then c else d)) colored
+  in
+  (* Maximal fan of [u] starting at the uncolored edge towards [v]. *)
+  let build_fan u v =
+    let fan = ref [ v ] in
+    let in_fan = Hashtbl.create 8 in
+    Hashtbl.add in_fan v ();
+    let rec extend last =
+      let found = ref None in
+      let c = ref 0 in
+      while !found = None && !c < ncolors do
+        let w = at.(u).(!c) in
+        if w >= 0 && (not (Hashtbl.mem in_fan w)) && is_free last !c then found := Some w;
+        incr c
+      done;
+      match !found with
+      | Some w ->
+          fan := w :: !fan;
+          Hashtbl.add in_fan w ();
+          extend w
+      | None -> ()
+    in
+    extend v;
+    Array.of_list (List.rev !fan)
+  in
+  let color_edge u v =
+    let fan = build_fan u v in
+    let k = Array.length fan - 1 in
+    let c = free u in
+    let d = free fan.(k) in
+    if c <> d then invert_path u c d;
+    (* After the inversion, find the shortest fan prefix [fan.(0..i)] that is
+       still a fan and whose end has [d] free; rotate it and finish with [d]. *)
+    let rec find i =
+      if i > k then None
+      else begin
+        let valid =
+          i = 0
+          ||
+          match color_of u fan.(i) with
+          | None -> false
+          | Some col -> is_free fan.(i - 1) col
+        in
+        if not valid then None
+        else if is_free fan.(i) d then Some i
+        else find (i + 1)
+      end
+    in
+    let w_idx =
+      match find 0 with
+      | Some i -> i
+      | None ->
+          (* Guaranteed by the Misra–Gries invariant. *)
+          assert false
+    in
+    for j = 0 to w_idx - 1 do
+      match color_of u fan.(j + 1) with
+      | None -> assert false
+      | Some col ->
+          unset u fan.(j + 1);
+          set u fan.(j) col
+    done;
+    set u fan.(w_idx) d
+  in
+  Graph.iter_edges g color_edge;
+  let used = Hashtbl.fold (fun _ c acc -> max acc (c + 1)) tbl 0 in
+  { colors = tbl; num = used }
+
+let greedy g =
+  let tbl = Hashtbl.create (2 * Graph.m g) in
+  let n = Graph.n g in
+  let limit = max 1 ((2 * Graph.max_degree g) + 1) in
+  let used = Array.init n (fun _ -> Array.make limit false) in
+  let maxc = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      let c = ref 0 in
+      while used.(u).(!c) || used.(v).(!c) do
+        incr c
+      done;
+      used.(u).(!c) <- true;
+      used.(v).(!c) <- true;
+      Hashtbl.replace tbl (norm u v) !c;
+      maxc := max !maxc (!c + 1));
+  { colors = tbl; num = !maxc }
+
+let color_classes { colors; num } =
+  let classes = Array.make num [] in
+  Hashtbl.iter (fun e c -> classes.(c) <- e :: classes.(c)) colors;
+  Array.map Array.of_list classes
+
+let is_proper g { colors; num = _ } =
+  let complete = ref true in
+  Graph.iter_edges g (fun u v -> if not (Hashtbl.mem colors (norm u v)) then complete := false);
+  !complete
+  &&
+  let proper = ref true in
+  for v = 0 to Graph.n g - 1 do
+    let seen = Hashtbl.create 8 in
+    Graph.iter_neighbors g v (fun u ->
+        match Hashtbl.find_opt colors (norm u v) with
+        | None -> proper := false
+        | Some c ->
+            if Hashtbl.mem seen c then proper := false else Hashtbl.add seen c ())
+  done;
+  !proper

@@ -1,0 +1,24 @@
+(** Proper edge coloring.
+
+    Algorithm 2 (paper Section 6) colors each level subgraph [G_k] with
+    [m_k ≤ d_k + 1] colors so that every color class is a matching.  The
+    Misra–Gries constructive proof of Vizing's theorem achieves exactly the
+    [Δ+1] bound the paper requires; the greedy variant (≤ 2Δ−1 colors) is
+    kept as an ablation baseline. *)
+
+type t = {
+  colors : (int * int, int) Hashtbl.t;  (** normalized edge → color in [0 .. num - 1] *)
+  num : int;  (** number of distinct colors used *)
+}
+
+val misra_gries : Graph.t -> t
+(** Proper edge coloring with at most [Δ + 1] colors in O(m·Δ) time. *)
+
+val greedy : Graph.t -> t
+(** First-fit proper edge coloring (≤ [2Δ − 1] colors); ablation baseline. *)
+
+val color_classes : t -> (int * int) array array
+(** [color_classes c] groups edges by color; every class is a matching. *)
+
+val is_proper : Graph.t -> t -> bool
+(** Every edge colored, and no two incident edges share a color. *)

@@ -1,0 +1,21 @@
+(** Matchings on general graphs.
+
+    A matching routing problem (paper Theorem 1) is a set of requests in which
+    every node occurs at most once; when the requests are graph edges the
+    matching itself is a routing of congestion 1. *)
+
+val is_matching : (int * int) array -> bool
+(** No node appears twice across the pairs and no pair is a self-loop. *)
+
+val greedy_maximal : Graph.t -> (int * int) array
+(** Maximal (not maximum) matching by scanning edges in normalized order:
+    deterministic, size ≥ half of maximum. *)
+
+val random_maximal : Prng.t -> Graph.t -> (int * int) array
+(** Maximal matching built over a uniformly shuffled edge order; used to
+    generate random matching routing problems whose requests are [G]-edges. *)
+
+val random_node_matching : Prng.t -> int -> k:int -> (int * int) array
+(** [random_node_matching rng n ~k] pairs [2k] distinct random nodes into [k]
+    source–destination pairs (not necessarily edges) — a matching routing
+    problem in the paper's sense.  Requires [2k ≤ n]. *)

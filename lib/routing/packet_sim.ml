@@ -1,0 +1,97 @@
+type packet = { id : int; path : Routing.path; mutable pos : int }
+
+type stats = {
+  makespan : int;
+  max_queue : int;
+  avg_latency : float;
+  congestion : int;
+  dilation : int;
+  forward_load : int;
+}
+
+let remaining p = Array.length p.path - 1 - p.pos
+
+let run ~n routing =
+  Array.iter
+    (fun p -> if Array.length p = 0 then invalid_arg "Packet_sim.run: empty path")
+    routing;
+  let k = Array.length routing in
+  let congestion = Routing.congestion ~n routing in
+  let dilation = Array.fold_left (fun acc p -> max acc (Routing.length p)) 0 routing in
+  let forward_load =
+    let loads = Array.make n 0 in
+    Array.iter
+      (fun path ->
+        (* positions 0 .. len-2 must forward (dedup within a path) *)
+        let seen = Hashtbl.create 8 in
+        for i = 0 to Array.length path - 2 do
+          if not (Hashtbl.mem seen path.(i)) then begin
+            Hashtbl.add seen path.(i) ();
+            loads.(path.(i)) <- loads.(path.(i)) + 1
+          end
+        done)
+      routing;
+    Array.fold_left max 0 loads
+  in
+  let delivery = Array.make k 0 in
+  let queues = Array.make n [] in
+  let pending = ref 0 in
+  Array.iteri
+    (fun id path ->
+      let p = { id; path; pos = 0 } in
+      if remaining p = 0 then delivery.(id) <- 0
+      else begin
+        queues.(path.(0)) <- p :: queues.(path.(0));
+        incr pending
+      end)
+    routing;
+  let max_queue = ref (Array.fold_left (fun acc q -> max acc (List.length q)) 0 queues) in
+  let round = ref 0 in
+  (* A greedy schedule of k packets of dilation D and congestion C finishes
+     within C*D + D rounds; anything longer is a bug. *)
+  let guard = (congestion * dilation) + dilation + 1 in
+  while !pending > 0 && !round <= guard do
+    incr round;
+    (* each node forwards its furthest-to-go packet *)
+    let arrivals = ref [] in
+    for v = 0 to n - 1 do
+      match queues.(v) with
+      | [] -> ()
+      | q ->
+          let best =
+            List.fold_left
+              (fun acc p ->
+                match acc with
+                | None -> Some p
+                | Some b ->
+                    if
+                      remaining p > remaining b
+                      || (remaining p = remaining b && p.id < b.id)
+                    then Some p
+                    else acc)
+              None q
+          in
+          (match best with
+          | None -> ()
+          | Some p ->
+              queues.(v) <- List.filter (fun q -> q.id <> p.id) q;
+              p.pos <- p.pos + 1;
+              if remaining p = 0 then begin
+                delivery.(p.id) <- !round;
+                decr pending
+              end
+              else arrivals := p :: !arrivals)
+    done;
+    List.iter (fun p -> queues.(p.path.(p.pos)) <- p :: queues.(p.path.(p.pos))) !arrivals;
+    let widest = Array.fold_left (fun acc q -> max acc (List.length q)) 0 queues in
+    max_queue := max !max_queue widest
+  done;
+  if !pending > 0 then failwith "Packet_sim.run: schedule exceeded the C*D guard (bug)";
+  let makespan = Array.fold_left max 0 delivery in
+  let avg_latency =
+    if k = 0 then 0.0
+    else Array.fold_left (fun acc d -> acc +. float_of_int d) 0.0 delivery /. float_of_int k
+  in
+  { makespan; max_queue = !max_queue; avg_latency; congestion; dilation; forward_load }
+
+let lower_bound s = max s.forward_load s.dilation

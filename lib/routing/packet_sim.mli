@@ -1,0 +1,43 @@
+(** Store-and-forward packet simulation under node capacity 1.
+
+    The paper's wireless motivation (Section 1.1, [12]) is that {e node}
+    congestion governs packet latency and queue growth: a wireless node can
+    receive/forward at most one packet per time slot.  This simulator makes
+    that concrete: given a routing (one path per packet), it plays out
+    synchronous rounds in which every node forwards at most one queued
+    packet along its path, and reports the realized makespan, latency and
+    queue statistics.
+
+    Scheduling policy: furthest-to-go first (ties by packet id) — a standard
+    greedy policy under which the makespan lands between the trivial lower
+    bound [max(C, D)] (congestion / dilation) and the naive upper bound
+    [C·D + D]; the classic Leighton–Maggs–Rao result says [O(C + D)] is
+    achievable, and on our workloads greedy tracks [C + D] closely, which the
+    benches report.
+
+    Model details: a packet occupies its source's queue at time 0; one packet
+    departs per node per round (the paper's node-capacity model); delivery
+    happens when the packet reaches the last node of its path.  Packets with
+    single-node paths deliver at time 0. *)
+
+type stats = {
+  makespan : int;  (** round by which every packet was delivered *)
+  max_queue : int;  (** largest queue length observed at any node *)
+  avg_latency : float;  (** mean delivery round over packets *)
+  congestion : int;  (** [C]: node congestion of the routing (endpoints included) *)
+  dilation : int;  (** [D]: longest path length *)
+  forward_load : int;
+      (** max over nodes of the number of packets the node must {e forward}
+          (paths through a non-final position) — the capacity-1 lower bound;
+          differs from [C] only by endpoint terms *)
+}
+
+val run : n:int -> Routing.routing -> stats
+(** Simulate the routing on an [n]-node network.  Deterministic.  Raises
+    [Invalid_argument] on an empty path. *)
+
+val lower_bound : stats -> int
+(** [max(forward_load, D)] — no schedule can beat it: a node forwards at
+    most one packet per round and the longest path needs [D] rounds.  ([C]
+    itself is {e not} a makespan bound because destinations absorb arrivals
+    without forwarding.) *)

@@ -1,0 +1,27 @@
+
+let edge_matching rng g = Routing.problem_of_edges (Matching.random_maximal rng g)
+
+let node_matching rng g ~k =
+  Routing.problem_of_edges (Matching.random_node_matching rng (Graph.n g) ~k)
+
+let permutation rng g =
+  let n = Graph.n g in
+  let pi = Prng.permutation rng n in
+  let pairs = ref [] in
+  for i = n - 1 downto 0 do
+    if pi.(i) <> i then pairs := { Routing.src = i; dst = pi.(i) } :: !pairs
+  done;
+  Array.of_list !pairs
+
+let all_edges g = Routing.problem_of_edges (Graph.edge_array g)
+
+let random_pairs rng g ~k =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Problems.random_pairs: need at least 2 nodes";
+  Array.init k (fun _ ->
+      let src = Prng.int rng n in
+      let rec other () =
+        let d = Prng.int rng n in
+        if d = src then other () else d
+      in
+      { Routing.src; dst = other () })

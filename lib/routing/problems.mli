@@ -1,0 +1,28 @@
+(** Routing-problem generators used as experiment workloads.
+
+    The paper's congestion-stretch statements quantify over all routing
+    problems; the benchmarks exercise the canonical hard cases: matchings of
+    graph edges (optimal congestion exactly 1), random node matchings, full
+    permutations (every node one source and one destination), and the
+    all-edges problem from Lemma 1. *)
+
+val edge_matching : Prng.t -> Graph.t -> Routing.problem
+(** Random maximal matching of [G]-edges as requests; the matching itself is
+    a routing with [C = 1], so measured spanner congestion {e is} the
+    congestion stretch. *)
+
+val node_matching : Prng.t -> Graph.t -> k:int -> Routing.problem
+(** [k] disjoint random source–destination pairs (endpoints distinct across
+    requests; requests need not be edges). *)
+
+val permutation : Prng.t -> Graph.t -> Routing.problem
+(** Permutation routing: node [i] sends to [π(i)] for a uniform permutation
+    [π] (fixed points dropped). *)
+
+val all_edges : Graph.t -> Routing.problem
+(** Every edge a request — the problem used in the proof of Lemma 1 to show
+    that a DC-spanner is a distance spanner. *)
+
+val random_pairs : Prng.t -> Graph.t -> k:int -> Routing.problem
+(** [k] independent uniform (source ≠ destination) pairs; nodes may repeat
+    across requests, so optimal congestion can exceed 1. *)

@@ -1,0 +1,58 @@
+type t = {
+  n : int;
+  hops : int array array;  (** hops.(dst).(src) = next hop from src toward dst, -1 if none *)
+  ports : int;
+}
+
+let compile g =
+  let n = Csr.n g in
+  let hops =
+    Array.init n (fun dst ->
+        (* reverse BFS from the destination: the parent pointer of [src]
+           (toward smaller distance) is its next hop *)
+        let dist = Bfs.distances g dst in
+        let hop = Array.make n (-1) in
+        for src = 0 to n - 1 do
+          if src <> dst && dist.(src) > 0 then begin
+            let best = ref (-1) in
+            Csr.iter_neighbors g src (fun u ->
+                if dist.(u) >= 0 && dist.(u) = dist.(src) - 1 && (!best < 0 || u < !best) then
+                  best := u);
+            hop.(src) <- !best
+          end
+        done;
+        hop)
+  in
+  let ports = ref 0 in
+  for v = 0 to n - 1 do
+    ports := !ports + Csr.degree g v
+  done;
+  { n; hops; ports = !ports }
+
+let next_hop t ~src ~dst =
+  if src = dst then None
+  else begin
+    let h = t.hops.(dst).(src) in
+    if h < 0 then None else Some h
+  end
+
+let forward t ~src ~dst =
+  if src = dst then Some [| src |]
+  else begin
+    let rec go v acc steps =
+      if steps > t.n then None (* defensive: would mean a forwarding loop *)
+      else if v = dst then Some (Array.of_list (List.rev (v :: acc)))
+      else
+        match next_hop t ~src:v ~dst with
+        | None -> None
+        | Some h -> go h (v :: acc) (steps + 1)
+    in
+    go src [] 0
+  end
+
+let entries t =
+  let count = ref 0 in
+  Array.iter (fun hop -> Array.iter (fun h -> if h >= 0 then incr count) hop) t.hops;
+  !count
+
+let ports t = t.ports

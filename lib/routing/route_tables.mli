@@ -1,0 +1,35 @@
+(** Next-hop routing tables.
+
+    The paper's introduction motivates DC-spanners by routing-table size:
+    a node's forwarding state has one {e port} per incident spanner edge,
+    and (for shortest-path routing) one next-hop entry per destination.
+    This module compiles a graph into concrete forwarding tables so that the
+    examples and benches can report real state sizes rather than proxies:
+
+    - [entries] — total (source, destination) next-hop entries, [n(n−1)]
+      for a connected graph (destination-indexed tables);
+    - [ports] — total port state, [2·m]: this is the component a sparse
+      spanner shrinks.
+
+    Tables implement deterministic shortest-path forwarding (smallest-index
+    BFS parents), so a packet forwarded hop by hop follows a shortest path —
+    verified against {!Bfs.distance} in the test suite. *)
+
+type t
+
+val compile : Csr.t -> t
+(** Build tables by one reverse-BFS sweep per destination: O(n·m) time,
+    O(n²) ints of memory — sized for experiment-scale graphs. *)
+
+val next_hop : t -> src:int -> dst:int -> int option
+(** The neighbor [src] forwards to for [dst]; [None] if unreachable or
+    [src = dst]. *)
+
+val forward : t -> src:int -> dst:int -> Routing.path option
+(** Follow the tables hop by hop; the resulting path is a shortest path. *)
+
+val entries : t -> int
+(** Total next-hop entries stored (pairs with a defined hop). *)
+
+val ports : t -> int
+(** Total port state: sum of node degrees = [2m]. *)

@@ -1,0 +1,82 @@
+type pair = { src : int; dst : int }
+type problem = pair array
+type path = int array
+type routing = path array
+
+let length p = Array.length p - 1
+
+(* Count each path at most once per node: mark nodes with the path's id. *)
+let node_loads ~n routing =
+  let loads = Array.make n 0 in
+  let stamp = Array.make n (-1) in
+  Array.iteri
+    (fun id path ->
+      Array.iter
+        (fun v ->
+          if stamp.(v) <> id then begin
+            stamp.(v) <- id;
+            loads.(v) <- loads.(v) + 1
+          end)
+        path)
+    routing;
+  loads
+
+let congestion ~n routing = Array.fold_left max 0 (node_loads ~n routing)
+
+let edge_congestion ~n routing =
+  ignore n;
+  let loads = Hashtbl.create 256 in
+  let bump u v =
+    let e = if u < v then (u, v) else (v, u) in
+    let cur = try Hashtbl.find loads e with Not_found -> 0 in
+    Hashtbl.replace loads e (cur + 1)
+  in
+  Array.iter
+    (fun path ->
+      let seen = Hashtbl.create 8 in
+      for i = 0 to Array.length path - 2 do
+        let u = path.(i) and v = path.(i + 1) in
+        let e = if u < v then (u, v) else (v, u) in
+        if not (Hashtbl.mem seen e) then begin
+          Hashtbl.add seen e ();
+          bump u v
+        end
+      done)
+    routing;
+  Hashtbl.fold (fun _ c acc -> max acc c) loads 0
+
+let is_valid_path g p =
+  Array.length p > 0
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length p - 2 do
+    if not (Graph.mem_edge g p.(i) p.(i + 1)) then ok := false
+  done;
+  !ok
+
+let is_valid g problem routing =
+  Array.length problem = Array.length routing
+  && Array.for_all2
+       (fun { src; dst } path ->
+         is_valid_path g path
+         && Array.length path > 0
+         && path.(0) = src
+         && path.(Array.length path - 1) = dst)
+       problem routing
+
+let problem_of_edges edges = Array.map (fun (u, v) -> { src = u; dst = v }) edges
+
+let max_stretch substitute ~against =
+  if Array.length substitute <> Array.length against then
+    invalid_arg "Routing.max_stretch: routing size mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      let orig = length against.(i) in
+      if orig > 0 then
+        worst := max !worst (float_of_int (length p) /. float_of_int orig))
+    substitute;
+  !worst
+
+let pp_path fmt p =
+  Format.fprintf fmt "[%s]" (String.concat ";" (Array.to_list (Array.map string_of_int p)))

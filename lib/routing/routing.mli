@@ -1,0 +1,53 @@
+(** Routing problems, routings, and node congestion (paper Section 2).
+
+    A {e routing problem} [R] is a set of source–destination pairs.  A
+    {e routing} [P] for [R] assigns each pair a path.  The {e node congestion}
+    [C(P)] is the maximum, over nodes [v], of the number of paths that use
+    [v] — each path counts at most once per node even if it revisits it,
+    matching the paper's definition [C(P, v) = |{p ∈ P : v ∈ p}|]. *)
+
+type pair = { src : int; dst : int }
+(** One routing request. *)
+
+type problem = pair array
+(** A routing problem [R = {(u₁,v₁), …, (u_k,v_k)}]. *)
+
+type path = int array
+(** A path as its node sequence; [p.(0)] is the source. *)
+
+type routing = path array
+(** One path per request, in the same order as the problem. *)
+
+val length : path -> int
+(** [length p] is the number of edges [l(p)]. *)
+
+val node_loads : n:int -> routing -> int array
+(** [node_loads ~n p] gives [C(P, v)] for every node [v] of a graph with [n]
+    nodes. *)
+
+val congestion : n:int -> routing -> int
+(** [congestion ~n p] is [C(P) = max_v C(P, v)]; [0] for an empty routing. *)
+
+val edge_congestion : n:int -> routing -> int
+(** Maximum number of paths crossing any single edge (paths count once per
+    edge).  Not used by the paper's definitions but reported in experiments
+    for context. *)
+
+val is_valid_path : Graph.t -> path -> bool
+(** Consecutive nodes are adjacent in the graph and the path is non-empty.
+    A single node is a valid (empty) path. *)
+
+val is_valid : Graph.t -> problem -> routing -> bool
+(** The routing solves the problem on the graph: same cardinality, matching
+    endpoints, all paths valid. *)
+
+val problem_of_edges : (int * int) array -> problem
+(** Treat each edge as a request (arbitrary orientation) — the construction
+    used in Lemma 1 and for matching routing problems [R_M]. *)
+
+val max_stretch : routing -> against:routing -> float
+(** [max_stretch p' ~against:p] is [max_i l(p'_i)/l(p_i)] (paths of length 0
+    are skipped); the distance-stretch certificate for a substitute routing. *)
+
+val pp_path : Format.formatter -> path -> unit
+(** Debug printer. *)

@@ -1,0 +1,60 @@
+let write problem path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "p %d\n" (Array.length problem);
+      Array.iter (fun { Routing.src; dst } -> Printf.fprintf oc "%d %d\n" src dst) problem)
+
+let fail line msg = failwith (Printf.sprintf "Routing_io: line %d: %s" line msg)
+
+let read ?n path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let expected = ref None in
+      let acc = ref [] in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           let line = String.trim line in
+           if line <> "" && line.[0] <> '#' then begin
+             let fields =
+               String.split_on_char ' ' line
+               |> List.concat_map (String.split_on_char '\t')
+               |> List.filter (fun s -> s <> "")
+             in
+             match (!expected, fields) with
+             | None, [ "p"; k ] -> (
+                 match int_of_string_opt k with
+                 | Some k when k >= 0 -> expected := Some k
+                 | _ -> fail !line_no "bad header")
+             | None, _ -> fail !line_no "expected header 'p <requests>'"
+             | Some _, [ a; b ] -> (
+                 match (int_of_string_opt a, int_of_string_opt b) with
+                 | Some src, Some dst ->
+                     if src = dst then fail !line_no "self-loop request"
+                     else begin
+                       (match n with
+                       | Some n when src < 0 || dst < 0 || src >= n || dst >= n ->
+                           fail !line_no "endpoint out of range"
+                       | _ -> ());
+                       acc := { Routing.src; dst } :: !acc
+                     end
+                 | _ -> fail !line_no "bad request line")
+             | Some _, _ -> fail !line_no "bad request line"
+           end
+         done
+       with End_of_file -> ());
+      match !expected with
+      | None -> failwith "Routing_io: empty input (missing header)"
+      | Some k ->
+          let problem = Array.of_list (List.rev !acc) in
+          if Array.length problem <> k then
+            failwith
+              (Printf.sprintf "Routing_io: header declares %d requests but %d were read" k
+                 (Array.length problem));
+          problem)

@@ -1,0 +1,19 @@
+(** Plain-text serialization of routing problems.
+
+    Format:
+    {v
+    # optional comments
+    p <requests>
+    <src> <dst>
+    ...
+    v}
+    Lets the CLI replay externally defined workloads and makes experiment
+    inputs archivable next to their graphs (see {!Graph_io}). *)
+
+val write : Routing.problem -> string -> unit
+(** Serialize a problem to a file (overwrites). *)
+
+val read : ?n:int -> string -> Routing.problem
+(** Parse a problem.  When [n] is given, endpoints are validated against
+    [0 .. n-1].  Raises [Failure] with a line-numbered message on malformed
+    input (bad header, self-loop, arity, out-of-range endpoint). *)

@@ -1,0 +1,16 @@
+let route_with find g problem =
+  Array.map
+    (fun { Routing.src; dst } ->
+      match find g src dst with
+      | Some p -> p
+      | None -> failwith "Sp_routing: request endpoints are disconnected")
+    problem
+
+let route g problem = route_with Bfs.shortest_path g problem
+
+let route_random g rng problem =
+  route_with (fun g u v -> Bfs.random_shortest_path g rng u v) g problem
+
+let congestion_of_problem g rng problem =
+  let routing = route_random g rng problem in
+  Routing.congestion ~n:(Csr.n g) routing

@@ -1,0 +1,20 @@
+(** Shortest-path routing of a problem on a graph.
+
+    This is the baseline router: it realizes each request along a (randomized)
+    BFS shortest path.  On the original graph [G] it provides the reference
+    congestion [C_G(R)] that stretch measurements compare against; on
+    bounded-degree expanders it also serves as the substitute for the
+    permutation-routing strategies of Scheideler [25] (DESIGN.md §3.4). *)
+
+val route : Csr.t -> Routing.problem -> Routing.routing
+(** Deterministic shortest paths (smallest-index parents).  Raises [Failure]
+    if some request is disconnected. *)
+
+val route_random : Csr.t -> Prng.t -> Routing.problem -> Routing.routing
+(** Shortest paths with uniformly random parent choice in the BFS DAG —
+    spreads load across equally short paths. *)
+
+val congestion_of_problem : Csr.t -> Prng.t -> Routing.problem -> int
+(** Congestion of the randomized shortest-path routing on the graph: the
+    baseline [C_G(R)] proxy used in experiments (exact lower bound 1 holds
+    when the problem is an edge matching). *)

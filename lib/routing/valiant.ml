@@ -1,0 +1,55 @@
+let leg g rng a b =
+  match Bfs.random_shortest_path g rng a b with
+  | Some p -> p
+  | None -> failwith "Valiant.route: disconnected request"
+
+let route g rng problem =
+  let n = Csr.n g in
+  Array.map
+    (fun { Routing.src; dst } ->
+      let intermediate =
+        if n <= 2 then src
+        else begin
+          let rec draw () =
+            let w = Prng.int rng n in
+            if w = src || w = dst then draw () else w
+          in
+          draw ()
+        end
+      in
+      if intermediate = src then leg g rng src dst
+      else begin
+        let first = leg g rng src intermediate in
+        let second = leg g rng intermediate dst in
+        (* splice, dropping the duplicated intermediate *)
+        Array.append first (Array.sub second 1 (Array.length second - 1))
+      end)
+    problem
+
+let congestion g rng problem = Routing.congestion ~n:(Csr.n g) (route g rng problem)
+
+let torus_transpose side =
+  let id r c = (r * side) + c in
+  let out = ref [] in
+  for r = 0 to side - 1 do
+    for c = 0 to side - 1 do
+      if r <> c then out := { Routing.src = id r c; dst = id c r } :: !out
+    done
+  done;
+  Array.of_list (List.rev !out)
+
+let hypercube_bit_reversal d =
+  let n = 1 lsl d in
+  let reverse x =
+    let r = ref 0 in
+    for bit = 0 to d - 1 do
+      if x land (1 lsl bit) <> 0 then r := !r lor (1 lsl (d - 1 - bit))
+    done;
+    !r
+  in
+  let out = ref [] in
+  for v = n - 1 downto 0 do
+    let w = reverse v in
+    if w <> v then out := { Routing.src = v; dst = w } :: !out
+  done;
+  Array.of_list !out

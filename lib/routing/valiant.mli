@@ -1,0 +1,33 @@
+(** Valiant's randomized routing (random intermediate destinations).
+
+    Rows 2–3 of the paper's Table 1 rely on permutation routing on
+    bounded-degree expanders with polylogarithmic congestion (Scheideler
+    [25]).  The classical constructive way to beat {e adversarial}
+    permutations obliviously is Valiant's two-phase scheme: route each
+    request [u → v] as [u → w → v] through an independent uniformly random
+    intermediate node [w], each leg along a (randomized) shortest path.  Any
+    fixed permutation then behaves like two random routings, so the maximum
+    load concentrates near its mean.
+
+    The [ablations/valiant] bench block compares direct shortest-path routing
+    against Valiant routing on adversarial permutations (torus transpose,
+    hypercube bit-reversal) and on random permutations — reproducing the
+    textbook phenomenon that motivates the [25] citation. *)
+
+val route : Csr.t -> Prng.t -> Routing.problem -> Routing.routing
+(** Two-phase Valiant routing; each returned path is the concatenation of
+    two randomized shortest paths (through a uniform intermediate, resampled
+    if it equals an endpoint on graphs with ≥ 3 nodes).  Raises [Failure] on
+    disconnected requests. *)
+
+val congestion : Csr.t -> Prng.t -> Routing.problem -> int
+(** Node congestion of one {!route} draw. *)
+
+val torus_transpose : int -> Routing.problem
+(** The transpose permutation [(r, c) → (c, r)] on a [side × side] torus
+    (node ids as in {!Generators.torus}) — the classic adversarial pattern
+    for dimension-ordered mesh routing. *)
+
+val hypercube_bit_reversal : int -> Routing.problem
+(** The bit-reversal permutation on the [d]-dimensional hypercube — the
+    classic adversarial pattern for oblivious hypercube routing. *)

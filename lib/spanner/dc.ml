@@ -1,0 +1,89 @@
+type t = {
+  name : string;
+  graph : Graph.t;
+  spanner : Graph.t;
+  route_matching : Prng.t -> (int * int) array -> Routing.path array;
+}
+
+let of_sp_router ~name ~graph ~spanner =
+  let csr = Csr.of_graph spanner in
+  let route_matching rng pairs =
+    Array.map
+      (fun (u, v) ->
+        match Bfs.random_shortest_path csr rng u v with
+        | Some p -> p
+        | None -> failwith (name ^ ": spanner disconnects a routed pair"))
+      pairs
+  in
+  { name; graph; spanner; route_matching }
+
+let route_general t rng routing =
+  Decompose.run ~n:(Graph.n t.graph) ~router:(t.route_matching rng) routing
+
+type matching_report = {
+  trials : int;
+  mean_congestion : float;
+  max_congestion : int;
+  max_mean_node_load : float;
+  mean_path_len : float;
+  max_path_len : int;
+}
+
+let measure_matching t rng ~trials =
+  let n = Graph.n t.graph in
+  let congestions = Array.make trials 0.0 in
+  let max_c = ref 0 in
+  let load_totals = Array.make n 0 in
+  let len_sum = ref 0.0 and len_count = ref 0 and max_len = ref 0 in
+  for i = 0 to trials - 1 do
+    let matching = Matching.random_maximal rng t.graph in
+    let paths = t.route_matching rng matching in
+    let loads = Routing.node_loads ~n paths in
+    Array.iteri (fun v l -> load_totals.(v) <- load_totals.(v) + l) loads;
+    let c = Array.fold_left max 0 loads in
+    congestions.(i) <- float_of_int c;
+    max_c := max !max_c c;
+    Array.iter
+      (fun p ->
+        let l = Routing.length p in
+        len_sum := !len_sum +. float_of_int l;
+        incr len_count;
+        max_len := max !max_len l)
+      paths
+  done;
+  let max_mean_node_load =
+    if trials = 0 then 0.0
+    else
+      float_of_int (Array.fold_left max 0 load_totals) /. float_of_int trials
+  in
+  {
+    trials;
+    mean_congestion = Stats.mean congestions;
+    max_congestion = !max_c;
+    max_mean_node_load;
+    mean_path_len = (if !len_count = 0 then 0.0 else !len_sum /. float_of_int !len_count);
+    max_path_len = !max_len;
+  }
+
+type general_report = {
+  problem_size : int;
+  base_congestion : int;
+  spanner_congestion : int;
+  stretch : float;
+  dist_stretch : float;
+  decompose : Decompose.stats;
+}
+
+let measure_general t rng routing =
+  let n = Graph.n t.graph in
+  let base = Routing.congestion ~n routing in
+  let { Decompose.substitute; stats } = route_general t rng routing in
+  let spanner_c = Routing.congestion ~n substitute in
+  {
+    problem_size = Array.length routing;
+    base_congestion = base;
+    spanner_congestion = spanner_c;
+    stretch = (if base = 0 then 0.0 else float_of_int spanner_c /. float_of_int base);
+    dist_stretch = Routing.max_stretch substitute ~against:routing;
+    decompose = stats;
+  }

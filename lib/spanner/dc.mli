@@ -1,0 +1,63 @@
+(** The [(α, β)]-DC-spanner interface (Definition 3) and its measurement.
+
+    A DC-spanner construction bundles the spanner graph [H] with a
+    {e matching router}: a procedure that, given a matching routing problem
+    whose requests are edges of [G], produces a substitute routing on [H].
+    Theorem 1 then lifts the matching router to arbitrary routings through
+    the Algorithm 2 decomposition ({!route_general}), multiplying the
+    congestion by [O(log n)].
+
+    The measurement helpers below are what the benchmark harness reports:
+    because a matching of [G]-edges has optimal congestion exactly 1, the
+    congestion of the substitute routing {e is} the congestion stretch for
+    that problem. *)
+
+type t = {
+  name : string;  (** construction label used in reports *)
+  graph : Graph.t;  (** the original graph [G] *)
+  spanner : Graph.t;  (** the spanner [H ⊆ G] *)
+  route_matching : Prng.t -> (int * int) array -> Routing.path array;
+      (** substitute routing on [H] for a matching (pairs oriented
+          first→second; returned paths must match endpoints). *)
+}
+
+val of_sp_router : name:string -> graph:Graph.t -> spanner:Graph.t -> t
+(** Wrap a plain spanner with the randomized-shortest-path matching router —
+    the router used for the distance-spanner baselines and the
+    [5]/[16]-substitutes. *)
+
+val route_general : t -> Prng.t -> Routing.routing -> Decompose.result
+(** Theorem 1: decompose the routing into matchings, route each on [H], and
+    splice.  The result's [stats] expose the Lemma 21/23 quantities. *)
+
+type matching_report = {
+  trials : int;
+  mean_congestion : float;  (** average over trials of [C(P')] *)
+  max_congestion : int;  (** worst trial *)
+  max_mean_node_load : float;
+      (** max over nodes of the node's load averaged across trials — the
+          empirical version of Theorem 2's "expected node congestion"
+          ([E[T_w] ≤ 1 + o(1)] for matchings, proof of Lemma 7) *)
+  mean_path_len : float;  (** average substitute path length *)
+  max_path_len : int;  (** worst substitute path length = distance stretch on the workload *)
+}
+
+val measure_matching : t -> Prng.t -> trials:int -> matching_report
+(** Route random maximal edge-matchings of [G] on [H].  Optimal congestion of
+    each problem is 1, so [max_congestion] is a lower bound certificate of
+    the spanner's congestion stretch and [mean_congestion] estimates the
+    expected stretch (paper Theorem 2 / Lemma 17 regime). *)
+
+type general_report = {
+  problem_size : int;
+  base_congestion : int;  (** congestion of the routing in [G] *)
+  spanner_congestion : int;  (** congestion of the substitute in [H] *)
+  stretch : float;  (** ratio *)
+  dist_stretch : float;  (** max path-length stretch of the substitute *)
+  decompose : Decompose.stats;
+}
+
+val measure_general : t -> Prng.t -> Routing.routing -> general_report
+(** Measure the congestion stretch of an arbitrary routing in [G] (e.g. a
+    shortest-path permutation routing): routes it on [H] via
+    {!route_general} and compares congestions. *)

@@ -1,0 +1,82 @@
+type t = {
+  spanner : Graph.t;
+  p : float;
+  fallbacks : int ref;
+  (* candidate replacement paths per removed edge, computed once: the
+     neighborhood matching (Lemma 4) is a property of G and the sampled
+     spanner, not of the request stream *)
+  cache : (int * int, Routing.path array) Hashtbl.t;
+}
+
+let norm u v = if u < v then (u, v) else (v, u)
+
+let default_p g =
+  let n = float_of_int (Graph.n g) in
+  let delta = float_of_int (max 1 (Graph.max_degree g)) in
+  min 1.0 ((n ** (2.0 /. 3.0)) /. delta)
+
+let build ?p rng g =
+  let p = match p with Some p -> min 1.0 (max 1e-9 p) | None -> default_p g in
+  let spanner = Graph.empty_like g in
+  Graph.iter_edges g (fun u v -> if Prng.bool rng p then ignore (Graph.add_edge spanner u v));
+  { spanner; p; fallbacks = ref 0; cache = Hashtbl.create 256 }
+
+(* Lemma 4 matching between the neighborhoods, then keep the 2/3-hop paths
+   whose edges all survived the sampling (Lemma 6).  Candidates are oriented
+   from the normalized edge's smaller endpoint. *)
+let candidates_for t g u v =
+  let u, v = norm u v in
+  match Hashtbl.find_opt t.cache (u, v) with
+  | Some c -> c
+  | None ->
+      let h = t.spanner in
+      let commons, matched = Bipartite_matching.neighborhood_matching g u v in
+      let two_hop =
+        List.filter_map
+          (fun x ->
+            if Graph.mem_edge h u x && Graph.mem_edge h x v then Some [| u; x; v |] else None)
+          commons
+      in
+      let three_hop =
+        Array.to_list matched
+        |> List.filter_map (fun (x, y) ->
+               if Graph.mem_edge h u x && Graph.mem_edge h x y && Graph.mem_edge h y v then
+                 Some [| u; x; y; v |]
+               else None)
+      in
+      let c = Array.of_list (two_hop @ three_hop) in
+      Hashtbl.replace t.cache (u, v) c;
+      c
+
+let router t g rng pairs =
+  let h = t.spanner in
+  let csr = lazy (Csr.of_graph h) in
+  let reverse p =
+    let len = Array.length p in
+    Array.init len (fun i -> p.(len - 1 - i))
+  in
+  Array.map
+    (fun (u, v) ->
+      if Graph.mem_edge h u v then [| u; v |]
+      else begin
+        let candidates = candidates_for t g u v in
+        if Array.length candidates = 0 then begin
+          incr t.fallbacks;
+          match Bfs.shortest_path (Lazy.force csr) u v with
+          | Some p -> p
+          | None -> failwith "Expander_dc.router: spanner disconnected for pair"
+        end
+        else begin
+          let p = Prng.pick rng candidates in
+          if p.(0) = u then p else reverse p
+        end
+      end)
+    pairs
+
+let to_dc t g =
+  {
+    Dc.name = "theorem2";
+    graph = g;
+    spanner = t.spanner;
+    route_matching = (fun rng pairs -> router t g rng pairs);
+  }

@@ -1,0 +1,52 @@
+type t = { spanner : Graph.t; sampled : Graph.t; k : int; rho : float; reinserted : int }
+
+let default_rho ~delta ~k =
+  if delta <= 1 then 1.0
+  else float_of_int delta ** (-.float_of_int (k - 1) /. float_of_int k)
+
+let build ?rho ~k rng g =
+  if k < 1 then invalid_arg "Khop_dc.build: need k >= 1";
+  let delta = Graph.max_degree g in
+  let rho = match rho with Some r -> min 1.0 (max 0.0 r) | None -> default_rho ~delta ~k in
+  if k = 1 then
+    { spanner = Graph.copy g; sampled = Graph.copy g; k; rho = 1.0; reinserted = 0 }
+  else begin
+    let sampled = Graph.empty_like g in
+    Graph.iter_edges g (fun u v -> if Prng.bool rng rho then ignore (Graph.add_edge sampled u v));
+    let spanner = Graph.copy sampled in
+    let bound = (2 * k) - 1 in
+    (* Distance-repair: reinsert removed edges with no (2k-1)-detour.  The
+       CSR snapshot is refreshed lazily — reinserted edges only shorten
+       distances, so checking against a stale snapshot is conservative
+       (it may reinsert a few extra edges, never too few). *)
+    let csr = Csr.of_graph sampled in
+    let reinserted = ref 0 in
+    Graph.iter_edges g (fun u v ->
+        if not (Graph.mem_edge spanner u v) then begin
+          let d = Bfs.distance_bounded csr u v ~bound in
+          if d < 0 then begin
+            ignore (Graph.add_edge spanner u v);
+            incr reinserted
+          end
+        end);
+    { spanner; sampled; k; rho; reinserted = !reinserted }
+  end
+
+let router t rng pairs =
+  let csr = Csr.of_graph t.spanner in
+  Array.map
+    (fun (u, v) ->
+      if Graph.mem_edge t.spanner u v then [| u; v |]
+      else
+        match Bfs.random_shortest_path csr rng u v with
+        | Some p -> p
+        | None -> failwith "Khop_dc.router: spanner disconnected for pair")
+    pairs
+
+let to_dc t g =
+  {
+    Dc.name = Printf.sprintf "khop-%d" ((2 * t.k) - 1);
+    graph = g;
+    spanner = t.spanner;
+    route_matching = (fun rng pairs -> router t rng pairs);
+  }

@@ -1,0 +1,54 @@
+type t = {
+  n : int;
+  delta : int;
+  regular : bool;
+  degree_ratio : float;
+  min_delta : float;
+  delta_ok : bool;
+  lambda : float;
+  lambda_budget : float;
+  expander_ok : bool;
+}
+
+let check g =
+  let n = Graph.n g in
+  let delta = Graph.max_degree g in
+  let min_deg = Graph.min_degree g in
+  let min_delta = float_of_int (max 1 n) ** (2.0 /. 3.0) in
+  let lambda = Spectral.lambda_lanczos (Csr.of_graph g) in
+  let lambda_budget =
+    if n = 0 then 0.0 else float_of_int (delta * delta) /. float_of_int n
+  in
+  {
+    n;
+    delta;
+    regular = Graph.is_regular g;
+    degree_ratio = float_of_int delta /. float_of_int (max 1 min_deg);
+    min_delta;
+    delta_ok = float_of_int delta >= min_delta;
+    lambda;
+    lambda_budget;
+    expander_ok = lambda <= lambda_budget /. 2.0;
+  }
+
+let theorem3_ok t = t.delta_ok && t.degree_ratio <= 2.0
+
+let theorem2_ok t = theorem3_ok t && t.expander_ok
+
+let describe t =
+  let warnings = ref [] in
+  if not t.delta_ok then
+    warnings :=
+      Printf.sprintf "degree %d below the n^{2/3} = %.1f density threshold" t.delta t.min_delta
+      :: !warnings;
+  if t.degree_ratio > 2.0 then
+    warnings :=
+      Printf.sprintf "degrees vary by %.1fx: outside the (near-)regular regime (consider Irregular)"
+        t.degree_ratio
+      :: !warnings;
+  if not t.expander_ok then
+    warnings :=
+      Printf.sprintf "expansion lambda = %.1f exceeds the Theorem 2 allowance %.1f (= Delta^2/2n)"
+        t.lambda (t.lambda_budget /. 2.0)
+      :: !warnings;
+  List.rev !warnings

@@ -1,0 +1,57 @@
+(** Algorithm 1: DC-spanner for Δ-regular graphs (paper Section 4, Theorem 3).
+
+    Pipeline, for a Δ-regular graph [G] with [Δ ≥ n^{2/3}]:
+
+    + {b Sample} every edge independently with probability [ρ = Δ'/Δ]
+      ([Δ' = √Δ]), giving [G'] with [O(n√Δ)] edges (Lemma 9);
+    + {b Reinsert} every edge that is {e not} [(λΔ', c₁Δ)]-supported in either
+      direction ([E'' = E \ Ê], line 9) — Lemma 10 bounds [|E''|] by
+      [O(λ n² Δ'/Δ) = Õ(n^{5/3})];
+    + optionally {b repair}: reinsert any removed supported edge whose
+      3-detours all vanished from [G'] (the event Corollary 2 shows has
+      probability [O(1/n)]); with repair the result is a 3-distance-spanner
+      {e deterministically}.
+
+    A removed edge is routed over one of its surviving 3-detours chosen
+    uniformly at random; Lemma 17 bounds the congestion of any matching
+    routed this way by [1 + 2√Δ], and Theorem 1 lifts this to
+    [O(√Δ · log n)] for arbitrary routings.
+
+    {b Constants.}  The paper's [λ = 2⁷ ln² n / c₁] makes [λΔ' > Δ] at any
+    laptop-scale [n] (then [Ê = ∅] and the spanner degenerates to [G]).  The
+    support thresholds [(a, b)] are therefore parameters; the defaults
+    [a = ⌈ln n⌉, b = ⌈Δ/4⌉] keep the algorithm's structure (an edge stays
+    removable only if it has [Θ(Δ ln n)] 3-detours) at experiment scale.
+    [`Paper] selects the paper's formula (with [c₁ = 1/2]) for asymptotic
+    fidelity.  See DESIGN.md §3.5. *)
+
+type thresholds =
+  | Scaled  (** [a = max 2 ⌈ln n⌉], [b = ⌈Δ/4⌉] — experiment-scale defaults *)
+  | Paper  (** [a = ⌈λΔ'⌉] with [λ = 2⁷ ln² n / c₁], [b = ⌈c₁Δ⌉], [c₁ = 1/2] *)
+  | Explicit of int * int  (** given [(a, b)] directly *)
+
+type t = {
+  spanner : Graph.t;  (** the DC-spanner [H] *)
+  sampled : Graph.t;  (** the intermediate sampled graph [G'] *)
+  reinserted : int;  (** [|E''|]: unsupported edges put back (line 9) *)
+  repaired : int;  (** edges put back by the repair pass *)
+  support_a : int;  (** the [a] threshold actually used *)
+  support_b : int;  (** the [b] threshold actually used *)
+  delta : int;  (** input degree [Δ] *)
+  delta' : int;  (** [Δ' = ⌈√Δ⌉] *)
+}
+
+val build : ?thresholds:thresholds -> ?repair:bool -> Prng.t -> Graph.t -> t
+(** Run Algorithm 1.  [repair] defaults to [true].  The input should be
+    (near-)regular; [Δ] is taken as the maximum degree.  Deterministic given
+    the generator state. *)
+
+val router : t -> detour_cap:int -> Prng.t -> (int * int) array -> Routing.path array
+(** The Lemma 17 matching router: requests that are spanner edges are routed
+    directly; removed edges over a uniformly random surviving 2- or 3-detour
+    (at most [detour_cap] candidates are enumerated).  Falls back to a
+    BFS shortest path in [H] if no detour survived (counted by Corollary 2
+    as a low-probability event).  Paths are oriented first→second. *)
+
+val to_dc : ?detour_cap:int -> t -> Graph.t -> Dc.t
+(** Package as a {!Dc.t} (detour cap defaults to 64). *)

@@ -1,0 +1,69 @@
+let exact_impl g h ~bound =
+  let hc = Csr.of_graph h in
+  let worst = ref 1 in
+  (try
+     Graph.iter_edges g (fun u v ->
+         if not (Graph.mem_edge h u v) then begin
+           let d = Bfs.distance_bounded hc u v ~bound in
+           if d < 0 then begin
+             worst := max_int;
+             raise Exit
+           end;
+           worst := max !worst d
+         end)
+   with Exit -> ());
+  !worst
+
+let exact g h = exact_impl g h ~bound:max_int
+
+let exact_parallel ?domains ?(bound = max_int) g h =
+  let hc = Csr.of_graph h in
+  let removed = ref [] in
+  Graph.iter_edges g (fun u v -> if not (Graph.mem_edge h u v) then removed := (u, v) :: !removed);
+  let removed = Array.of_list !removed in
+  if Array.length removed = 0 then 1
+  else begin
+    let per_edge i =
+      let u, v = removed.(i) in
+      let d = Bfs.distance_bounded hc u v ~bound in
+      if d < 0 then max_int else d
+    in
+    max 1 (Parallel.max_range ?domains (Array.length removed) per_edge)
+  end
+
+let exact_bounded g h ~bound = exact_impl g h ~bound
+
+let is_three_spanner g h = exact_bounded g h ~bound:3 <= 3
+
+let sampled_pairs rng g h ~samples =
+  let gc = Csr.of_graph g and hc = Csr.of_graph h in
+  let n = Graph.n g in
+  if n < 2 then 1.0
+  else begin
+    let worst = ref 1.0 in
+    for _ = 1 to samples do
+      let u = Prng.int rng n in
+      let v = Prng.int rng n in
+      if u <> v then begin
+        let dg = Bfs.distance gc u v in
+        if dg > 0 then begin
+          let dh = Bfs.distance hc u v in
+          let ratio =
+            if dh < 0 then infinity else float_of_int dh /. float_of_int dg
+          in
+          worst := max !worst ratio
+        end
+      end
+    done;
+    !worst
+  end
+
+let violations g h ~bound =
+  let hc = Csr.of_graph h in
+  let bad = ref [] in
+  Graph.iter_edges g (fun u v ->
+      if not (Graph.mem_edge h u v) then begin
+        let d = Bfs.distance_bounded hc u v ~bound in
+        if d < 0 || d > bound then bad := (u, v) :: !bad
+      end);
+  !bad

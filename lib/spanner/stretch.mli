@@ -1,0 +1,34 @@
+(** Distance-stretch measurement (Definition 1).
+
+    For unweighted graphs the worst pairwise stretch of a spanner is attained
+    on an edge of [G]: replacing every edge of a shortest path by its spanner
+    detour multiplies the length by at most the worst edge detour, and edges
+    are themselves pairs at distance 1.  So the exact distance stretch equals
+    [max_{(u,v) ∈ E(G)} d_H(u, v)], which is what {!exact} computes. *)
+
+val exact : Graph.t -> Graph.t -> int
+(** [exact g h] is the exact distance stretch of spanner [h]: the maximum
+    over edges [(u,v)] of [G] of [d_H(u,v)].  Returns [max_int] if some edge
+    is disconnected in [h].  O(removed-edges × BFS). *)
+
+val exact_parallel : ?domains:int -> ?bound:int -> Graph.t -> Graph.t -> int
+(** {!exact} fanned out over OCaml 5 domains (one bounded BFS per removed
+    edge, read-only snapshots).  Identical result to the sequential version;
+    used by the harness at full scale.  [bound] as in {!exact_bounded}. *)
+
+val exact_bounded : Graph.t -> Graph.t -> bound:int -> int
+(** Like {!exact} but BFS stops at depth [bound]; any edge whose spanner
+    distance exceeds [bound] makes the result [max_int].  Much faster when
+    the expected stretch is a small constant (the stretch-3 certificate). *)
+
+val is_three_spanner : Graph.t -> Graph.t -> bool
+(** [is_three_spanner g h] checks the paper's headline guarantee:
+    every removed edge has a spanner detour of length ≤ 3. *)
+
+val sampled_pairs : Prng.t -> Graph.t -> Graph.t -> samples:int -> float
+(** Monte-Carlo pairwise stretch: max over [samples] random connected node
+    pairs of [d_H / d_G]; a sanity cross-check of {!exact} at scale. *)
+
+val violations : Graph.t -> Graph.t -> bound:int -> (int * int) list
+(** Removed edges whose spanner distance exceeds [bound] — the counter-
+    examples reported when a stretch certificate fails. *)

@@ -1,0 +1,66 @@
+let default_domains () =
+  match Sys.getenv_opt "DCS_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d -> max 1 (min 64 d)
+      | None -> 1)
+  | None -> max 1 (min 4 (Domain.recommended_domain_count ()))
+
+(* Split [0, n) into [domains] contiguous chunks; run the tail chunk on the
+   current domain so a single-domain call never spawns. *)
+let chunks n domains =
+  let domains = max 1 (min domains n) in
+  let base = n / domains and extra = n mod domains in
+  let out = ref [] in
+  let start = ref 0 in
+  for i = 0 to domains - 1 do
+    let len = base + if i < extra then 1 else 0 in
+    if len > 0 then out := (!start, len) :: !out;
+    start := !start + len
+  done;
+  List.rev !out
+
+let map_range ?domains n f =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  if n <= 0 then [||]
+  else if domains <= 1 || n < 2 * domains then Array.init n f
+  else begin
+    match chunks n domains with
+    | [] -> [||]
+    | (head_start, head_len) :: rest ->
+        let handles =
+          List.map
+            (fun (start, len) ->
+              Domain.spawn (fun () -> Array.init len (fun i -> f (start + i))))
+            rest
+        in
+        let head = Array.init head_len (fun i -> f (head_start + i)) in
+        let parts = head :: List.map Domain.join handles in
+        Array.concat parts
+  end
+
+let max_range ?domains n f =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  if n <= 0 then min_int
+  else if domains <= 1 || n < 2 * domains then begin
+    let best = ref min_int in
+    for i = 0 to n - 1 do
+      best := max !best (f i)
+    done;
+    !best
+  end
+  else begin
+    let chunk_max (start, len) =
+      let best = ref min_int in
+      for i = start to start + len - 1 do
+        best := max !best (f i)
+      done;
+      !best
+    in
+    match chunks n domains with
+    | [] -> min_int
+    | head :: rest ->
+        let handles = List.map (fun c -> Domain.spawn (fun () -> chunk_max c)) rest in
+        let acc = chunk_max head in
+        List.fold_left (fun acc h -> max acc (Domain.join h)) acc handles
+  end

@@ -1,0 +1,24 @@
+(** Multicore helpers (OCaml 5 domains).
+
+    The measurement hot loops — per-edge stretch certificates, all-pairs BFS,
+    per-pair matching computations — are embarrassingly parallel over
+    read-only graph snapshots, so they scale with plain domain fan-out; no
+    scheduler dependency is needed.  All functions are deterministic: work is
+    split into contiguous index chunks and results are reassembled in order,
+    so parallel and sequential runs produce identical outputs.
+
+    The domain count defaults to [min 4 recommended] and can be pinned with
+    the [DCS_DOMAINS] environment variable ([1] disables spawning). *)
+
+val default_domains : unit -> int
+(** Configured domain count: [DCS_DOMAINS] if set (clamped to [1, 64]),
+    otherwise [min 4 (Domain.recommended_domain_count ())]. *)
+
+val map_range : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [map_range n f] is [Array.init n f] computed on [domains] domains.
+    [f] must only read shared state (graphs passed to it are treated as
+    read-only snapshots). *)
+
+val max_range : ?domains:int -> int -> (int -> int) -> int
+(** [max_range n f] is [max_{0 ≤ i < n} f i] ([min_int] when [n = 0]),
+    without materializing the intermediate array. *)

@@ -1,0 +1,85 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+  mutable notes : string list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Report.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else cell
+
+let csv t =
+  let buf = Buffer.create 256 in
+  let row cells = Buffer.add_string buf (String.concat "," (List.map csv_cell cells) ^ "\n") in
+  row t.columns;
+  List.iter row (List.rev t.rows);
+  List.iter (fun note -> Buffer.add_string buf ("# " ^ note ^ "\n")) (List.rev t.notes);
+  Buffer.contents buf
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    title
+
+let maybe_write_csv t =
+  match Sys.getenv_opt "DCS_BENCH_CSV" with
+  | None -> ()
+  | Some dir ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        let path = Filename.concat dir (slug t.title ^ ".csv") in
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (csv t))
+      end
+
+let print t =
+  maybe_write_csv t;
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let record row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter record all;
+  let render row =
+    let cells =
+      List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell) row
+    in
+    "  " ^ String.concat "  " cells
+  in
+  Printf.printf "%s\n" t.title;
+  Printf.printf "%s\n" (render t.columns);
+  let total = Array.fold_left ( + ) (2 * ncols) widths in
+  Printf.printf "  %s\n" (String.make total '-');
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows;
+  List.iter (fun note -> Printf.printf "  note: %s\n" note) (List.rev t.notes);
+  Printf.printf "\n"
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n\n" bar title bar
+
+let subsection title =
+  Printf.printf "--- %s ---\n" title

@@ -1,0 +1,34 @@
+(** Plain-text report tables for the experiment harness.
+
+    Every bench block prints one of these tables; keeping the renderer here
+    guarantees that the benchmark output, the CLI and the examples all format
+    results identically. *)
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts a table with the given header row. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Raises [Invalid_argument] if the row width differs
+    from the header width. *)
+
+val add_note : t -> string -> unit
+(** Append a free-form footnote printed under the table. *)
+
+val print : t -> unit
+(** Render to stdout with column alignment and a rule under the header.
+    When the [DCS_BENCH_CSV] environment variable names a directory, also
+    write the table there as [<slug-of-title>.csv] (see {!csv}). *)
+
+val csv : t -> string
+(** The table as RFC-4180-ish CSV (header row + data rows; cells containing
+    commas or quotes are quoted).  Notes are emitted as trailing comment
+    lines starting with [#]. *)
+
+val section : string -> unit
+(** Print a prominent section banner. *)
+
+val subsection : string -> unit
+(** Print a lighter sub-banner. *)

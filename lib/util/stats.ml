@@ -1,0 +1,90 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let minimum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.minimum: empty";
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.maximum: empty";
+  Array.fold_left max xs.(0) xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.0
+
+let of_ints xs = Array.map float_of_int xs
+
+let histogram ~bucket xs =
+  if bucket <= 0 then invalid_arg "Stats.histogram: bucket must be positive";
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun x ->
+      let b = (x / bucket) * bucket in
+      let b = if x < 0 && x mod bucket <> 0 then b - bucket else b in
+      let cur = try Hashtbl.find counts b with Not_found -> 0 in
+      Hashtbl.replace counts b (cur + 1))
+    xs;
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let log2 x = log x /. log 2.0
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 100.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.3f" x
+
+let linear_fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let fn = float_of_int n in
+  let denom = (fn *. !sxx) -. (!sx *. !sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((fn *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. fn in
+  (slope, intercept)
+
+let fitted_exponent points =
+  let logs =
+    Array.map
+      (fun (n, y) ->
+        if n <= 0 || y <= 0 then invalid_arg "Stats.fitted_exponent: values must be positive";
+        (log (float_of_int n), log (float_of_int y)))
+      points
+  in
+  fst (linear_fit logs)

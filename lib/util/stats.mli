@@ -1,0 +1,50 @@
+(** Descriptive statistics over float and int samples, used by the benchmark
+    harness and the experiment reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays of length < 2. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val minimum : float array -> float
+(** Smallest element.  Raises [Invalid_argument] on an empty array. *)
+
+val maximum : float array -> float
+(** Largest element.  Raises [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the [p]-th percentile ([0 <= p <= 100]) using linear
+    interpolation between closest ranks.  Raises on empty input. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+val of_ints : int array -> float array
+(** Widen an int sample to floats. *)
+
+val histogram : bucket:int -> int array -> (int * int) list
+(** [histogram ~bucket xs] buckets values into [[k*bucket, (k+1)*bucket)]
+    ranges and returns [(bucket_start, count)] pairs sorted by bucket,
+    omitting empty buckets.  Requires [bucket > 0]. *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)
+
+val linear_fit : (float * float) array -> float * float
+(** Least-squares line [(slope, intercept)] through the points.  Requires at
+    least two points with distinct x.  Used on log-log data to fit size
+    exponents (e.g. [m(H) ~ n^e] → slope of [log m] vs [log n]). *)
+
+val fitted_exponent : (int * int) array -> float
+(** [fitted_exponent [(n, y); ...]] is the slope of [ln y] against [ln n] —
+    the empirical growth exponent of a sweep.  Requires positive values and
+    ≥ 2 distinct [n]. *)
+
+val fmt_float : float -> string
+(** Compact human-readable rendering used in report tables: large values get
+    thousands separators-free fixed notation, small values keep 3 significant
+    decimals. *)

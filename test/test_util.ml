@@ -1,0 +1,264 @@
+(* Tests for dcs_util: PRNG determinism and distribution sanity, statistics,
+   report rendering. *)
+
+let check = Alcotest.check
+
+let test_prng_deterministic () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.int64 a = Prng.int64 b then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 4)
+
+let test_prng_copy_independent () =
+  let a = Prng.create 99 in
+  ignore (Prng.int64 a);
+  let b = Prng.copy a in
+  let xa = Prng.int64 a in
+  let xb = Prng.int64 b in
+  check Alcotest.int64 "copy continues identically" xa xb;
+  (* advancing one does not affect the other *)
+  ignore (Prng.int64 a);
+  ignore (Prng.int64 a);
+  let ya = Prng.int64 a and yb = Prng.int64 b in
+  check Alcotest.bool "copies diverge after different numbers of draws" true (ya <> yb || xa = xb)
+
+let test_prng_split_independent () =
+  let a = Prng.create 7 in
+  let child = Prng.split a in
+  let xs = Array.init 16 (fun _ -> Prng.int64 a) in
+  let ys = Array.init 16 (fun _ -> Prng.int64 child) in
+  let clashes = ref 0 in
+  Array.iteri (fun i x -> if x = ys.(i) then incr clashes) xs;
+  check Alcotest.bool "split stream decorrelated" true (!clashes <= 1)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let bound = 1 + Prng.int rng 100 in
+    let x = Prng.int rng bound in
+    check Alcotest.bool "0 <= x < bound" true (x >= 0 && x < bound)
+  done
+
+let test_prng_int_rejects_bad_bound () =
+  let rng = Prng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_prng_int_covers_range () =
+  let rng = Prng.create 11 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng 10) <- true
+  done;
+  Array.iteri (fun i s -> check Alcotest.bool (Printf.sprintf "value %d reached" i) true s) seen
+
+let test_prng_float_range () =
+  let rng = Prng.create 17 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng in
+    check Alcotest.bool "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_prng_bool_bias () =
+  let rng = Prng.create 23 in
+  let count = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    if Prng.bool rng 0.25 then incr count
+  done;
+  let rate = float_of_int !count /. float_of_int trials in
+  check Alcotest.bool "empirical rate near 0.25" true (rate > 0.22 && rate < 0.28)
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create 31 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_permutation_uniform_smoke () =
+  (* Each position should see many distinct values across trials. *)
+  let rng = Prng.create 37 in
+  let seen = Array.init 5 (fun _ -> Hashtbl.create 8) in
+  for _ = 1 to 200 do
+    let p = Prng.permutation rng 5 in
+    Array.iteri (fun i v -> Hashtbl.replace seen.(i) v ()) p
+  done;
+  Array.iter (fun h -> check Alcotest.int "all values at each position" 5 (Hashtbl.length h)) seen
+
+let test_sample_distinct () =
+  let rng = Prng.create 41 in
+  for _ = 1 to 50 do
+    let n = 2 + Prng.int rng 60 in
+    let k = Prng.int rng (n + 1) in
+    let s = Prng.sample_distinct rng ~n ~k in
+    check Alcotest.int "size k" k (Array.length s);
+    let tbl = Hashtbl.create k in
+    Array.iter
+      (fun x ->
+        check Alcotest.bool "in range" true (x >= 0 && x < n);
+        check Alcotest.bool "distinct" false (Hashtbl.mem tbl x);
+        Hashtbl.add tbl x ())
+      s
+  done
+
+let test_pick_empty () =
+  let rng = Prng.create 2 in
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick rng [||]))
+
+(* ---- stats ---- *)
+
+let feq msg a b = check (Alcotest.float 1e-9) msg a b
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  feq "mean empty" 0.0 (Stats.mean [||])
+
+let test_variance_stddev () =
+  feq "variance" 1.25 (Stats.variance [| 1.0; 2.0; 3.0; 4.0 |]);
+  feq "stddev" (sqrt 1.25) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |]);
+  feq "variance singleton" 0.0 (Stats.variance [| 5.0 |])
+
+let test_min_max () =
+  feq "min" (-2.0) (Stats.minimum [| 3.0; -2.0; 7.0 |]);
+  feq "max" 7.0 (Stats.maximum [| 3.0; -2.0; 7.0 |])
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  feq "p0" 1.0 (Stats.percentile xs 0.0);
+  feq "p100" 5.0 (Stats.percentile xs 100.0);
+  feq "p50" 3.0 (Stats.percentile xs 50.0);
+  feq "p25" 2.0 (Stats.percentile xs 25.0);
+  feq "median unsorted input" 3.0 (Stats.median [| 5.0; 1.0; 3.0; 2.0; 4.0 |])
+
+let test_percentile_interpolates () =
+  let xs = [| 0.0; 10.0 |] in
+  feq "p75 interpolated" 7.5 (Stats.percentile xs 75.0)
+
+let test_histogram () =
+  let h = Stats.histogram ~bucket:10 [| 1; 5; 11; 19; 25; 9 |] in
+  check
+    Alcotest.(list (pair int int))
+    "buckets" [ (0, 3); (10, 2); (20, 1) ] h
+
+let test_histogram_rejects () =
+  Alcotest.check_raises "bucket 0" (Invalid_argument "Stats.histogram: bucket must be positive")
+    (fun () -> ignore (Stats.histogram ~bucket:0 [| 1 |]))
+
+let test_log2 () = feq "log2 8" 3.0 (Stats.log2 8.0)
+
+let test_linear_fit () =
+  let slope, intercept = Stats.linear_fit [| (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) |] in
+  feq "slope" 2.0 slope;
+  feq "intercept" 1.0 intercept;
+  Alcotest.check_raises "one point" (Invalid_argument "Stats.linear_fit: need at least two points")
+    (fun () -> ignore (Stats.linear_fit [| (1.0, 1.0) |]));
+  Alcotest.check_raises "degenerate x" (Invalid_argument "Stats.linear_fit: degenerate x values")
+    (fun () -> ignore (Stats.linear_fit [| (2.0, 1.0); (2.0, 5.0) |]))
+
+let test_fitted_exponent () =
+  (* y = 3 n^2 exactly *)
+  let pts = Array.map (fun n -> (n, 3 * n * n)) [| 2; 4; 8; 16 |] in
+  check (Alcotest.float 1e-6) "exponent 2" 2.0 (Stats.fitted_exponent pts);
+  Alcotest.check_raises "positive values"
+    (Invalid_argument "Stats.fitted_exponent: values must be positive") (fun () ->
+      ignore (Stats.fitted_exponent [| (1, 0); (2, 4) |]))
+
+(* ---- report (rendering does not raise; widths consistent) ---- *)
+
+let test_report () =
+  let t = Report.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Report.add_row t [ "1"; "2" ];
+  Report.add_note t "note";
+  Alcotest.check_raises "row width" (Invalid_argument "Report.add_row: row width mismatch")
+    (fun () -> Report.add_row t [ "only-one" ])
+
+(* ---- qcheck properties ---- *)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within [min,max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 30) (float_bound_inclusive 1000.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Stats.percentile arr p in
+      v >= Stats.minimum arr -. 1e-9 && v <= Stats.maximum arr +. 1e-9)
+
+let prop_shuffle_multiset =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Prng.create seed in
+      let arr = Array.of_list xs in
+      let before = List.sort compare xs in
+      Prng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = before)
+
+let prop_sample_distinct_sorted_subset =
+  QCheck.Test.make ~name:"sample_distinct subset of range" ~count:200
+    QCheck.(pair small_int (pair (int_range 1 100) (int_range 0 100)))
+    (fun (seed, (n, k0)) ->
+      let k = min k0 n in
+      let rng = Prng.create seed in
+      let s = Prng.sample_distinct rng ~n ~k in
+      Array.for_all (fun x -> x >= 0 && x < n) s)
+
+let prop_histogram_total =
+  QCheck.Test.make ~name:"histogram counts sum to length" ~count:200
+    QCheck.(pair (int_range 1 20) (list (int_range 0 500)))
+    (fun (bucket, xs) ->
+      let h = Stats.histogram ~bucket (Array.of_list xs) in
+      List.fold_left (fun acc (_, c) -> acc + c) 0 h = List.length xs)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_prng_int_rejects_bad_bound;
+          Alcotest.test_case "int covers range" `Quick test_prng_int_covers_range;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "bool bias" `Quick test_prng_bool_bias;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "permutation coverage" `Quick test_permutation_uniform_smoke;
+          Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "pick empty" `Quick test_pick_empty;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolates;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram rejects" `Quick test_histogram_rejects;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "fitted exponent" `Quick test_fitted_exponent;
+        ] );
+      ("report", [ Alcotest.test_case "rendering" `Quick test_report ]);
+      ( "properties",
+        q
+          [
+            prop_percentile_bounds;
+            prop_shuffle_multiset;
+            prop_sample_distinct_sorted_subset;
+            prop_histogram_total;
+          ] );
+    ]
