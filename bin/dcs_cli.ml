@@ -14,31 +14,67 @@
 
 open Cmdliner
 
+let ( let* ) = Result.bind
+
+(* ---- observability (global flags, every subcommand) ---- *)
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON trace of the run to $(docv) (open in \
+             chrome://tracing or ui.perfetto.dev).  Equivalent to setting $(b,DCS_TRACE).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Dump the metrics registry (counters, gauges, histograms) to $(docv) at exit — \
+             JSON, or CSV when $(docv) ends in .csv.  Equivalent to setting $(b,DCS_METRICS).")
+  in
+  let setup trace metrics =
+    Option.iter (fun f -> Trace.enable ~file:f) trace;
+    Option.iter (fun f -> Metrics.enable ~file:f) metrics
+  in
+  Term.(const setup $ trace_arg $ metrics_arg)
+
 (* ---- graph families ---- *)
 
+(* Unknown names return [Error] (surfaced through [Term.term_result'] as a
+   proper error message + usage), never an uncaught exception. *)
 let make_graph ?input ~family ~n ~degree ~p ~seed () =
   match input with
-  | Some path -> Graph_io.read path
-  | None ->
-  let rng = Prng.create seed in
-  match family with
-  | "regular" ->
-      let d = if n * degree mod 2 = 1 then degree + 1 else degree in
-      Generators.random_regular rng n d
-  | "margulis" ->
-      let m = int_of_float (ceil (sqrt (float_of_int n))) in
-      Generators.margulis m
-  | "torus" ->
-      let side = int_of_float (ceil (sqrt (float_of_int n))) in
-      Generators.torus side side
-  | "hypercube" ->
-      let d = int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
-      Generators.hypercube d
-  | "erdos" -> Generators.erdos_renyi rng n p
-  | "complete" -> Generators.complete n
-  | "two-cliques" -> Generators.two_cliques_matching (if n mod 2 = 1 then n + 1 else n)
-  | "ring" -> Generators.ring_of_cliques (max 2 (n / 20)) 20
-  | other -> failwith (Printf.sprintf "unknown family %S" other)
+  | Some path -> Ok (Graph_io.read path)
+  | None -> (
+      let rng = Prng.create seed in
+      match family with
+      | "regular" ->
+          let d = if n * degree mod 2 = 1 then degree + 1 else degree in
+          Ok (Generators.random_regular rng n d)
+      | "margulis" ->
+          let m = int_of_float (ceil (sqrt (float_of_int n))) in
+          Ok (Generators.margulis m)
+      | "torus" ->
+          let side = int_of_float (ceil (sqrt (float_of_int n))) in
+          Ok (Generators.torus side side)
+      | "hypercube" ->
+          let d = int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
+          Ok (Generators.hypercube d)
+      | "erdos" -> Ok (Generators.erdos_renyi rng n p)
+      | "complete" -> Ok (Generators.complete n)
+      | "two-cliques" -> Ok (Generators.two_cliques_matching (if n mod 2 = 1 then n + 1 else n))
+      | "ring" -> Ok (Generators.ring_of_cliques (max 2 (n / 20)) 20)
+      | other ->
+          Error
+            (Printf.sprintf
+               "unknown graph family %S (expected regular | margulis | torus | hypercube | \
+                erdos | complete | two-cliques | ring)"
+               other))
 
 let family_arg =
   let doc =
@@ -76,8 +112,8 @@ let output_arg =
 (* ---- graph ---- *)
 
 let graph_cmd =
-  let run family n degree p seed input output =
-    let g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+  let run () family n degree p seed input output =
+    let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
     (match output with None -> () | Some path -> Graph_io.write g path);
     let c = Csr.of_graph g in
     let rng = Prng.create (seed + 1) in
@@ -90,26 +126,35 @@ let graph_cmd =
       (Connectivity.count g);
     Printf.printf "lambda:      %.3f (expansion ratio %.3f)\n" (Spectral.lambda c)
       (Spectral.expansion_ratio c);
-    Printf.printf "diameter:    >= %d (sampled)\n" (Bfs.diameter_sampled c rng ~samples:20)
+    Printf.printf "diameter:    >= %d (sampled)\n" (Bfs.diameter_sampled c rng ~samples:20);
+    Ok ()
   in
   let term =
-    Term.(const run $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ input_arg $ output_arg)
+    Term.term_result' ~usage:true
+      Term.(
+        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ input_arg
+        $ output_arg)
   in
   Cmd.v (Cmd.info "graph" ~doc:"Generate a graph family and print its statistics.") term
 
 (* ---- spanner ---- *)
 
 let algorithm_of_string = function
-  | "theorem2" -> Dc_spanner.Theorem2
-  | "algorithm1" -> Dc_spanner.Algorithm1
-  | "greedy" -> Dc_spanner.Greedy 2
-  | "baswana-sen" -> Dc_spanner.Baswana_sen
-  | "spectral" -> Dc_spanner.Spectral_sparsify
-  | "bounded-degree" -> Dc_spanner.Bounded_degree
-  | "khop-5" -> Dc_spanner.Khop 3
-  | "khop-7" -> Dc_spanner.Khop 4
-  | "irregular" -> Dc_spanner.Irregular
-  | other -> failwith (Printf.sprintf "unknown algorithm %S" other)
+  | "theorem2" -> Ok Dc_spanner.Theorem2
+  | "algorithm1" -> Ok Dc_spanner.Algorithm1
+  | "greedy" -> Ok (Dc_spanner.Greedy 2)
+  | "baswana-sen" -> Ok Dc_spanner.Baswana_sen
+  | "spectral" -> Ok Dc_spanner.Spectral_sparsify
+  | "bounded-degree" -> Ok Dc_spanner.Bounded_degree
+  | "khop-5" -> Ok (Dc_spanner.Khop 3)
+  | "khop-7" -> Ok (Dc_spanner.Khop 4)
+  | "irregular" -> Ok Dc_spanner.Irregular
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown algorithm %S (expected theorem2 | algorithm1 | greedy | baswana-sen | \
+            spectral | bounded-degree | khop-5 | khop-7 | irregular)"
+           other)
 
 let algorithm_arg =
   let doc =
@@ -122,9 +167,9 @@ let general_arg =
   Arg.(value & flag & info [ "general" ] ~doc:"Also measure a permutation routing problem.")
 
 let spanner_cmd =
-  let run family n degree p seed algorithm trials general input output =
-    let g = make_graph ?input ~family ~n ~degree ~p ~seed () in
-    let algo = algorithm_of_string algorithm in
+  let run () family n degree p seed algorithm trials general input output =
+    let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+    let* algo = algorithm_of_string algorithm in
     let rng = Prng.create (seed + 1) in
     let dc = Dc_spanner.build algo rng g in
     Printf.printf "construction: %s\n" dc.Dc.name;
@@ -156,16 +201,18 @@ let spanner_cmd =
     | Some gen ->
         Printf.printf "permutation routing: C_G=%d C_H=%d stretch=%.2f path-stretch=%.1f\n"
           gen.Dc.base_congestion gen.Dc.spanner_congestion gen.Dc.stretch gen.Dc.dist_stretch);
-    match output with
+    (match output with
     | None -> ()
     | Some path ->
         Graph_io.write dc.Dc.spanner path;
-        Printf.printf "spanner written to %s\n" path
+        Printf.printf "spanner written to %s\n" path);
+    Ok ()
   in
   let term =
-    Term.(
-      const run $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg $ trials_arg
-      $ general_arg $ input_arg $ output_arg)
+    Term.term_result' ~usage:true
+      Term.(
+        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg
+        $ trials_arg $ general_arg $ input_arg $ output_arg)
   in
   Cmd.v (Cmd.info "spanner" ~doc:"Build a spanner and measure both stretches.") term
 
@@ -179,7 +226,7 @@ let lowerbound_cmd =
   let pool_arg =
     Arg.(value & opt int 1400 & info [ "pool" ] ~docv:"POOL" ~doc:"Shared line-node pool size.")
   in
-  let run k instances pool seed =
+  let run () k instances pool seed =
     let rng = Prng.create seed in
     let t = Theorem4.make rng ~pool ~instances ~k in
     let g = t.Theorem4.graph in
@@ -196,7 +243,7 @@ let lowerbound_cmd =
     Printf.printf "congestion stretch: %d (claim >= (2k-1)/4 = %.2f)\n" !worst
       (float_of_int ((2 * k) - 1) /. 4.0)
   in
-  let term = Term.(const run $ k_arg $ instances_arg $ pool_arg $ seed_arg) in
+  let term = Term.(const run $ obs_term $ k_arg $ instances_arg $ pool_arg $ seed_arg) in
   Cmd.v (Cmd.info "lowerbound" ~doc:"Run the Theorem 4 lower-bound experiment.") term
 
 (* ---- check ---- *)
@@ -212,9 +259,9 @@ let check_cmd =
       & info [ "beta" ] ~docv:"B"
           ~doc:"Congestion stretch bound (default: the Theorem 3 envelope 12(1+2sqrt(D))log n).")
   in
-  let run family n degree p seed algorithm trials alpha beta input =
-    let g = make_graph ?input ~family ~n ~degree ~p ~seed () in
-    let algo = algorithm_of_string algorithm in
+  let run () family n degree p seed algorithm trials alpha beta input =
+    let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+    let* algo = algorithm_of_string algorithm in
     let rng = Prng.create (seed + 1) in
     let dc = Dc_spanner.build algo rng g in
     let beta =
@@ -231,12 +278,14 @@ let check_cmd =
     Printf.printf "rho (Definition 4): %d/%d = %.3f\n" e.Dc_check.successes e.Dc_check.trials
       e.Dc_check.rate;
     Printf.printf "worst distance stretch observed:   %.2f\n" e.Dc_check.worst_dist;
-    Printf.printf "worst congestion stretch observed: %.2f\n" e.Dc_check.worst_cong
+    Printf.printf "worst congestion stretch observed: %.2f\n" e.Dc_check.worst_cong;
+    Ok ()
   in
   let term =
-    Term.(
-      const run $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg $ trials_arg
-      $ alpha_arg $ beta_arg $ input_arg)
+    Term.term_result' ~usage:true
+      Term.(
+        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg
+        $ trials_arg $ alpha_arg $ beta_arg $ input_arg)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Empirically verify the (alpha, beta)-DC property of a construction.")
@@ -263,8 +312,8 @@ let route_cmd =
       & opt (some string) None
       & info [ "problem" ] ~docv:"FILE" ~doc:"Read the routing problem from a file (see Routing_io).")
   in
-  let run family n degree p seed strategy requests input problem_file =
-    let g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+  let run () family n degree p seed strategy requests input problem_file =
+    let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
     let c = Csr.of_graph g in
     let rng = Prng.create (seed + 1) in
     let problem =
@@ -274,13 +323,16 @@ let route_cmd =
           if requests <= 0 then Problems.permutation rng g
           else Problems.random_pairs rng g ~k:requests
     in
-    let routing =
+    let* routing =
       match strategy with
-      | "det-sp" -> Sp_routing.route c problem
-      | "random-sp" -> Sp_routing.route_random c rng problem
-      | "valiant" -> Valiant.route c rng problem
-      | "optimizer" -> Congestion_opt.route c rng problem
-      | other -> failwith (Printf.sprintf "unknown strategy %S" other)
+      | "det-sp" -> Ok (Sp_routing.route c problem)
+      | "random-sp" -> Ok (Sp_routing.route_random c rng problem)
+      | "valiant" -> Ok (Valiant.route c rng problem)
+      | "optimizer" -> Ok (Congestion_opt.route c rng problem)
+      | other ->
+          Error
+            (Printf.sprintf
+               "unknown strategy %S (expected det-sp | random-sp | valiant | optimizer)" other)
     in
     let nn = Graph.n g in
     let max_len = Array.fold_left (fun acc pth -> max acc (Routing.length pth)) 0 routing in
@@ -290,12 +342,14 @@ let route_cmd =
     Printf.printf "congestion: %d (node), %d (edge)\n"
       (Routing.congestion ~n:nn routing)
       (Routing.edge_congestion ~n:nn routing);
-    Printf.printf "max hops:   %d\n" max_len
+    Printf.printf "max hops:   %d\n" max_len;
+    Ok ()
   in
   let term =
-    Term.(
-      const run $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ strategy_arg $ requests_arg
-      $ input_arg $ problem_arg)
+    Term.term_result' ~usage:true
+      Term.(
+        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ strategy_arg
+        $ requests_arg $ input_arg $ problem_arg)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route a workload on a graph and report congestion.") term
 
@@ -314,10 +368,16 @@ let verify_cmd =
       & opt (some string) None
       & info [ "spanner" ] ~docv:"FILE" ~doc:"The candidate spanner (edge-list file).")
   in
-  let run graph_file spanner_file seed trials =
+  let run () graph_file spanner_file seed trials =
     let g = Graph_io.read graph_file in
     let h = Graph_io.read spanner_file in
-    if Graph.n g <> Graph.n h then failwith "verify: node counts differ";
+    let* () =
+      if Graph.n g <> Graph.n h then
+        Error
+          (Printf.sprintf "node counts differ: the graph has %d nodes, the spanner has %d"
+             (Graph.n g) (Graph.n h))
+      else Ok ()
+    in
     let sub = Graph.is_subgraph h ~of_:g in
     Printf.printf "spanner is a subgraph of the graph: %b\n" sub;
     if sub then begin
@@ -332,9 +392,13 @@ let verify_cmd =
           "matching congestion stretch over %d trials: mean %.2f, max %d (optimum 1)\n" trials
           r.Dc.mean_congestion r.Dc.max_congestion
       end
-    end
+    end;
+    Ok ()
   in
-  let term = Term.(const run $ graph_file_arg $ spanner_file_arg $ seed_arg $ trials_arg) in
+  let term =
+    Term.term_result' ~usage:true
+      Term.(const run $ obs_term $ graph_file_arg $ spanner_file_arg $ seed_arg $ trials_arg)
+  in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify subgraph, distance stretch and congestion of a spanner file.")
     term
@@ -342,7 +406,7 @@ let verify_cmd =
 (* ---- distributed ---- *)
 
 let distributed_cmd =
-  let run n degree seed =
+  let run () n degree seed =
     let d = if n * degree mod 2 = 1 then degree + 1 else degree in
     let g = Generators.random_regular (Prng.create seed) n d in
     let r = Dist_spanner.run ~seed g in
@@ -360,7 +424,7 @@ let distributed_cmd =
       (Stretch.exact g r.Dist_spanner.spanner);
     Printf.printf "matches centralized reference: %b\n" equal
   in
-  let term = Term.(const run $ n_arg $ degree_arg $ seed_arg) in
+  let term = Term.(const run $ obs_term $ n_arg $ degree_arg $ seed_arg) in
   Cmd.v (Cmd.info "distributed" ~doc:"Run the Corollary 3 LOCAL protocol.") term
 
 let () =
@@ -368,8 +432,11 @@ let () =
     Cmd.info "dcs" ~version:"1.0.0"
       ~doc:"Sparse spanners with small distance and congestion stretches (SPAA 2024)."
   in
+  (* [~term_err:some_error] (123): runtime failures — unknown family, unknown
+     algorithm, mismatched files — report as errors, not as usage mistakes
+     (124 stays reserved for genuine command-line syntax errors). *)
   exit
-    (Cmd.eval
+    (Cmd.eval ~term_err:Cmd.Exit.some_error
        (Cmd.group info
           [
             graph_cmd;

@@ -13,16 +13,21 @@ type row = {
 let evaluate ?(trials = 5) ?(with_general = true) ?(with_lambda = true) rng (dc : Dc.t) =
   let g = dc.Dc.graph and h = dc.Dc.spanner in
   let n = Graph.n g in
-  let lambda = if with_lambda then Spectral.lambda (Csr.of_graph g) else 0.0 in
-  let lambda_spanner = if with_lambda then Spectral.lambda (Csr.of_graph h) else 0.0 in
+  let lambda, lambda_spanner =
+    Trace.with_span ~name:"experiment.spectral" (fun () ->
+        if with_lambda then (Spectral.lambda (Csr.of_graph g), Spectral.lambda (Csr.of_graph h))
+        else (0.0, 0.0))
+  in
   let dist_stretch = Stretch.exact_parallel g h in
-  let matching = Dc.measure_matching dc rng ~trials in
+  let matching =
+    Trace.with_span ~name:"experiment.matching" (fun () -> Dc.measure_matching dc rng ~trials)
+  in
   let general =
-    if with_general then begin
-      let problem = Problems.permutation rng g in
-      let base_routing = Sp_routing.route_random (Csr.of_graph g) rng problem in
-      Some (Dc.measure_general dc rng base_routing)
-    end
+    if with_general then
+      Trace.with_span ~name:"experiment.general" (fun () ->
+          let problem = Problems.permutation rng g in
+          let base_routing = Sp_routing.route_random (Csr.of_graph g) rng problem in
+          Some (Dc.measure_general dc rng base_routing))
     else None
   in
   {

@@ -5,7 +5,16 @@ type ('state, 'msg) step =
 
 type stats = { rounds : int; messages : int }
 
+(* Observed LOCAL complexity: rounds and messages accumulate across every
+   simulated protocol run, so "rounds per run" vs. the paper's O(1)/O(log n)
+   bounds is a checkable metric ([local.runs] gives the divisor). *)
+let m_runs = Metrics.counter "local.runs"
+let m_rounds = Metrics.counter "local.rounds"
+let m_messages = Metrics.counter "local.messages"
+let m_round_messages = Metrics.gauge "local.round_messages"
+
 let run g ~rounds ~init ~step =
+  Trace.with_span ~name:"local.run" @@ fun () ->
   let n = Graph.n g in
   let neighbors =
     Array.init n (fun v ->
@@ -17,6 +26,7 @@ let run g ~rounds ~init ~step =
   let inboxes = Array.make n [] in
   let messages = ref 0 in
   for round = 0 to rounds - 1 do
+    let at_round_start = !messages in
     let next_inboxes = Array.make n [] in
     for v = 0 to n - 1 do
       let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(v) in
@@ -30,6 +40,10 @@ let run g ~rounds ~init ~step =
           next_inboxes.(dst) <- (v, msg) :: next_inboxes.(dst))
         outbox
     done;
+    Metrics.set_gauge m_round_messages (!messages - at_round_start);
     Array.blit next_inboxes 0 inboxes 0 n
   done;
+  Metrics.incr m_runs;
+  Metrics.add m_rounds rounds;
+  Metrics.add m_messages !messages;
   (states, { rounds; messages = !messages })

@@ -1,3 +1,10 @@
+(* Counters are batched: the hot loop below tallies into its own locals and
+   the metric cells are touched once per BFS run, so the disabled-mode cost
+   is one flag check per *call*, not per node. *)
+let m_runs = Metrics.counter "bfs.runs"
+let m_visited = Metrics.counter "bfs.nodes_visited"
+let m_frontier = Metrics.gauge "bfs.frontier_peak"
+
 let distances_impl g s ~bound ~stop_at =
   let n = Csr.n g in
   let dist = Array.make n (-1) in
@@ -6,6 +13,7 @@ let distances_impl g s ~bound ~stop_at =
   dist.(s) <- 0;
   queue.(0) <- s;
   tail := 1;
+  let frontier_peak = ref 1 in
   (* Early exit at *discovery* of [stop_at], not at pop: on dense graphs the
      final BFS layer dominates the work and the target is usually discovered
      long before its layer is settled. *)
@@ -23,8 +31,14 @@ let distances_impl g s ~bound ~stop_at =
               incr tail
             end)
       with Exit -> finished := true
-    end
+    end;
+    if !tail - !head > !frontier_peak then frontier_peak := !tail - !head
   done;
+  if !Obs.metrics then begin
+    Metrics.incr m_runs;
+    Metrics.add m_visited !tail;
+    Metrics.set_gauge m_frontier !frontier_peak
+  end;
   dist
 
 let distances g s = distances_impl g s ~bound:max_int ~stop_at:(-1)
@@ -92,7 +106,10 @@ let diameter_sampled g rng ~samples =
     Array.fold_left (fun acc s -> max acc (eccentricity g s)) 0 sources
   end
 
-let all_distances g = Array.init (Csr.n g) (fun s -> distances g s)
+let all_distances g =
+  Trace.with_span ~name:"bfs.all_distances" (fun () ->
+      Array.init (Csr.n g) (fun s -> distances g s))
 
 let all_distances_parallel ?domains g =
-  Parallel.map_range ?domains (Csr.n g) (fun s -> distances g s)
+  Trace.with_span ~name:"bfs.all_distances" (fun () ->
+      Parallel.map_range ?domains (Csr.n g) (fun s -> distances g s))

@@ -1,0 +1,228 @@
+(* Shard count: a power of two comfortably above the DCS_DOMAINS clamp (64);
+   domain ids are folded in by [land].  Two domains whose ids collide share a
+   cell, which is still exact because the cell is atomic. *)
+let shards = 128
+let mask = shards - 1
+
+let shard () = (Domain.self () :> int) land mask
+
+type counter = { cells : int Atomic.t array }
+
+type gauge = { last : int Atomic.t; peak : int Atomic.t }
+
+(* Power-of-two bins: index 0 holds v <= 0, index i >= 1 holds
+   2^(i-1) <= v < 2^i.  63 bins cover the whole int range. *)
+type histo = {
+  buckets : int Atomic.t array;
+  sum : int Atomic.t;
+  mn : int Atomic.t;
+  mx : int Atomic.t;
+}
+
+let registry_mutex = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histos : (string, histo) Hashtbl.t = Hashtbl.create 16
+
+let intern tbl name make =
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some m -> m
+      | None ->
+          let m = make () in
+          Hashtbl.replace tbl name m;
+          m)
+
+let counter name =
+  intern counters name (fun () -> { cells = Array.init shards (fun _ -> Atomic.make 0) })
+
+let add c n = if !Obs.metrics then ignore (Atomic.fetch_and_add c.cells.(shard ()) n)
+
+let incr c = add c 1
+
+let counter_value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+
+let gauge name = intern gauges name (fun () -> { last = Atomic.make 0; peak = Atomic.make 0 })
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let set_gauge g v =
+  if !Obs.metrics then begin
+    Atomic.set g.last v;
+    atomic_max g.peak v
+  end
+
+let gauge_last g = Atomic.get g.last
+let gauge_peak g = Atomic.get g.peak
+
+let histo name =
+  intern histos name (fun () ->
+      {
+        buckets = Array.init 64 (fun _ -> Atomic.make 0);
+        sum = Atomic.make 0;
+        mn = Atomic.make max_int;
+        mx = Atomic.make min_int;
+      })
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and x = ref v in
+    while !x > 0 do
+      i := !i + 1;
+      x := !x lsr 1
+    done;
+    !i
+  end
+
+let observe h v =
+  if !Obs.metrics then begin
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add h.sum v);
+    atomic_min h.mn v;
+    atomic_max h.mx v
+  end
+
+let histo_count h = Array.fold_left (fun acc b -> acc + Atomic.get b) 0 h.buckets
+
+let histo_stats h =
+  let count = histo_count h in
+  if count = 0 then (0, 0, 0, 0)
+  else (count, Atomic.get h.sum, Atomic.get h.mn, Atomic.get h.mx)
+
+(* ---- dumps ---- *)
+
+let sorted_names tbl =
+  Hashtbl.fold (fun name _ acc -> name :: acc) tbl [] |> List.sort compare
+
+let nonempty_buckets h =
+  let out = ref [] in
+  Array.iteri
+    (fun i b ->
+      let c = Atomic.get b in
+      if c > 0 then out := (i, c) :: !out)
+    h.buckets;
+  List.rev !out
+
+(* The exclusive upper bound of bucket [i] (1 for the v <= 0 bucket is
+   rendered as 1: "v < 1"). *)
+let bucket_lt i = if i = 0 then 1 else 1 lsl i
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  let sep = ref false in
+  let item s =
+    if !sep then Buffer.add_char buf ',';
+    sep := true;
+    Buffer.add_string buf s
+  in
+  Buffer.add_string buf "{\n\"counters\":{";
+  List.iter
+    (fun name ->
+      let c = Hashtbl.find counters name in
+      item (Printf.sprintf "\n  \"%s\":%d" (Obs.json_escape name) (counter_value c)))
+    (sorted_names counters);
+  Buffer.add_string buf "},\n\"gauges\":{";
+  sep := false;
+  List.iter
+    (fun name ->
+      let g = Hashtbl.find gauges name in
+      item
+        (Printf.sprintf "\n  \"%s\":{\"last\":%d,\"peak\":%d}" (Obs.json_escape name)
+           (gauge_last g) (gauge_peak g)))
+    (sorted_names gauges);
+  Buffer.add_string buf "},\n\"histograms\":{";
+  sep := false;
+  List.iter
+    (fun name ->
+      let h = Hashtbl.find histos name in
+      let count, sum, mn, mx = histo_stats h in
+      let mean = if count = 0 then 0.0 else float_of_int sum /. float_of_int count in
+      let buckets =
+        nonempty_buckets h
+        |> List.map (fun (i, c) -> Printf.sprintf "{\"lt\":%d,\"count\":%d}" (bucket_lt i) c)
+        |> String.concat ","
+      in
+      item
+        (Printf.sprintf
+           "\n  \"%s\":{\"count\":%d,\"sum\":%d,\"mean\":%s,\"min\":%d,\"max\":%d,\"buckets\":[%s]}"
+           (Obs.json_escape name) count sum (Obs.json_float mean) mn mx buckets))
+    (sorted_names histos);
+  Buffer.add_string buf "}\n}\n";
+  Buffer.contents buf
+
+let to_csv () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "kind,name,field,value\n";
+  let row kind name field value =
+    Buffer.add_string buf (Printf.sprintf "%s,%s,%s,%s\n" kind name field value)
+  in
+  List.iter
+    (fun name -> row "counter" name "total" (string_of_int (counter_value (Hashtbl.find counters name))))
+    (sorted_names counters);
+  List.iter
+    (fun name ->
+      let g = Hashtbl.find gauges name in
+      row "gauge" name "last" (string_of_int (gauge_last g));
+      row "gauge" name "peak" (string_of_int (gauge_peak g)))
+    (sorted_names gauges);
+  List.iter
+    (fun name ->
+      let h = Hashtbl.find histos name in
+      let count, sum, mn, mx = histo_stats h in
+      row "histo" name "count" (string_of_int count);
+      row "histo" name "sum" (string_of_int sum);
+      row "histo" name "min" (string_of_int mn);
+      row "histo" name "max" (string_of_int mx))
+    (sorted_names histos);
+  Buffer.contents buf
+
+let write path =
+  let out = if Filename.check_suffix path ".csv" then to_csv () else to_json () in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc out)
+
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter (fun _ c -> Array.iter (fun cell -> Atomic.set cell 0) c.cells) counters;
+      Hashtbl.iter
+        (fun _ g ->
+          Atomic.set g.last 0;
+          Atomic.set g.peak 0)
+        gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.sum 0;
+          Atomic.set h.mn max_int;
+          Atomic.set h.mx min_int)
+        histos)
+
+(* ---- activation ---- *)
+
+let sink = ref None
+let hook_registered = ref false
+
+(* An unwritable sink must not turn a finished run into a non-zero exit. *)
+let write_or_warn f =
+  try write f
+  with Sys_error msg -> Printf.eprintf "dcs_obs: cannot write metrics: %s\n%!" msg
+
+let enable ~file =
+  Obs.set_metrics true;
+  sink := Some file;
+  if not !hook_registered then begin
+    hook_registered := true;
+    at_exit (fun () -> match !sink with None -> () | Some f -> write_or_warn f)
+  end
+
+let () =
+  match Sys.getenv_opt "DCS_METRICS" with
+  | Some f when String.trim f <> "" -> enable ~file:(String.trim f)
+  | _ -> ()

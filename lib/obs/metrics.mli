@@ -1,0 +1,76 @@
+(** A process-wide registry of named counters, gauges and histograms.
+
+    Handles are interned by name ([counter "bfs.runs"] always returns the
+    same cell set), so instrumented modules create their handles once at
+    module initialization and the hot path touches only the metric itself.
+
+    {b Multicore.}  Counters are sharded per domain: an increment lands in
+    the cell indexed by the calling domain's id (atomically, so shard-index
+    collisions stay race-free), and readers fold the shards into one total.
+    This keeps [Parallel.map_range] fan-outs free of a single contended
+    cache line while remaining exact — the fold at read time is the "merge
+    at join".  Gauges and histograms use atomics throughout.
+
+    {b Zero overhead when disabled.}  Every mutator checks {!Obs.metrics}
+    first; when the flag is off the call is a load, a branch and a return.
+    Instrumented hot loops accumulate locally and call {!add} once per
+    operation batch (e.g. one [add] per BFS run, not per node).
+
+    Activation: [DCS_METRICS=<file>] (dumped by an [at_exit] hook, JSON by
+    default, CSV when the file name ends in [.csv]) or the CLI [--metrics]
+    option.  Mutating a metric never consumes randomness or changes
+    algorithm behavior. *)
+
+type counter
+type gauge
+type histo
+
+val counter : string -> counter
+(** Intern (find or create) the counter with this name. *)
+
+val incr : counter -> unit
+(** Add 1 (no-op when metrics are disabled). *)
+
+val add : counter -> int -> unit
+(** Add an arbitrary delta (no-op when metrics are disabled). *)
+
+val counter_value : counter -> int
+(** The per-domain shards folded into one total. *)
+
+val gauge : string -> gauge
+(** Intern the gauge with this name. *)
+
+val set_gauge : gauge -> int -> unit
+(** Record the current value; the peak (max ever set) is kept alongside. *)
+
+val gauge_last : gauge -> int
+
+val gauge_peak : gauge -> int
+
+val histo : string -> histo
+(** Intern the histogram with this name.  Observations are integers binned
+    into powers of two ([v ≤ 0], [1], [2–3], [4–7], …). *)
+
+val observe : histo -> int -> unit
+(** Record one observation (no-op when metrics are disabled). *)
+
+val histo_stats : histo -> int * int * int * int
+(** [(count, sum, min, max)]; [(0, 0, 0, 0)] when empty. *)
+
+val to_json : unit -> string
+(** The whole registry as a JSON document (counters folded, metrics sorted
+    by name — deterministic for a deterministic workload). *)
+
+val to_csv : unit -> string
+(** The registry as [kind,name,field,value] CSV rows. *)
+
+val write : string -> unit
+(** Write the registry to a file: CSV when the path ends in [.csv],
+    JSON otherwise. *)
+
+val enable : file:string -> unit
+(** Turn metric collection on and arrange for {!write} [file] at process
+    exit.  Idempotent: the last file wins, the hook is registered once. *)
+
+val reset : unit -> unit
+(** Zero every registered metric, keeping handles valid (tests). *)

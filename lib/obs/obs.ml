@@ -1,0 +1,31 @@
+let tracing = ref false
+let metrics = ref false
+
+let set_tracing b = tracing := b
+let set_metrics b = metrics := b
+
+(* Anchor timestamps to process start so trace [ts] values stay small enough
+   to read in chrome://tracing without zooming from the epoch. *)
+let t0 = Unix.gettimeofday ()
+
+let now_us () = (Unix.gettimeofday () -. t0) *. 1e6
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_nan x || Float.abs x = Float.infinity then "0"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x

@@ -1,0 +1,37 @@
+(** Runtime switches and shared helpers for the observability layer.
+
+    {!Trace} and {!Metrics} are designed to cost nothing when disabled: every
+    instrumentation call site checks exactly one of the two flags below (a
+    plain [bool ref] read and branch) before doing any work.  The flags are
+    flipped once at startup — by the [DCS_TRACE] / [DCS_METRICS] environment
+    variables or the CLI [--trace] / [--metrics] options — and never change
+    mid-run, so the check is branch-predictor-friendly.
+
+    Nothing in this library consumes [Prng.t] streams or mutates algorithm
+    state: enabling observability can never change a computed result (the
+    determinism contract of HACKING.md). *)
+
+val tracing : bool ref
+(** When [false] (the default), {!Trace.with_span} is a tail call to its
+    argument. *)
+
+val metrics : bool ref
+(** When [false] (the default), all {!Metrics} mutators are no-ops. *)
+
+val set_tracing : bool -> unit
+(** Flip {!tracing}; used by {!Trace.enable} and by the tests. *)
+
+val set_metrics : bool -> unit
+(** Flip {!metrics}; used by {!Metrics.enable} and by the tests. *)
+
+val now_us : unit -> float
+(** Wall-clock microseconds since an arbitrary process-local epoch
+    (monotone enough for span durations; spans are milliseconds-scale). *)
+
+val json_escape : string -> string
+(** [json_escape s] is [s] with ["], [\ ] and control characters escaped so
+    that ["\"" ^ json_escape s ^ "\""] is a valid JSON string literal. *)
+
+val json_float : float -> string
+(** A JSON-parseable rendering of a float ([nan]/[inf] map to [0], JSON has
+    no spelling for them). *)

@@ -1,0 +1,122 @@
+type span = {
+  name : string;
+  tid : int;
+  ts_us : float;
+  dur_us : float;
+  minor_words : float;
+  major_words : float;
+  args : (string * string) list;
+}
+
+(* Spans are appended under a mutex at span *end*; a span-per-phase design
+   means contention is negligible (spans are milliseconds-scale, not
+   per-node).  The list is kept reversed and flipped on read. *)
+let mutex = Mutex.create ()
+let spans : span list ref = ref []
+
+let record s = Mutex.protect mutex (fun () -> spans := s :: !spans)
+
+let domain_id () = (Domain.self () :> int)
+
+let with_span ?(args = []) ~name f =
+  if not !Obs.tracing then f ()
+  else begin
+    let ts = Obs.now_us () in
+    let gc0 = Gc.quick_stat () in
+    Fun.protect
+      ~finally:(fun () ->
+        let gc1 = Gc.quick_stat () in
+        record
+          {
+            name;
+            tid = domain_id ();
+            ts_us = ts;
+            dur_us = Obs.now_us () -. ts;
+            minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+            major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+            args;
+          })
+      f
+  end
+
+let instant ?(args = []) name =
+  if !Obs.tracing then
+    record
+      {
+        name;
+        tid = domain_id ();
+        ts_us = Obs.now_us ();
+        dur_us = 0.0;
+        minor_words = 0.0;
+        major_words = 0.0;
+        args;
+      }
+
+let snapshot () = Mutex.protect mutex (fun () -> List.rev !spans)
+
+let clear () = Mutex.protect mutex (fun () -> spans := [])
+
+let event_json s =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"name":"%s","cat":"dcs","ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"args":{|}
+       (Obs.json_escape s.name) s.tid (Obs.json_float s.ts_us) (Obs.json_float s.dur_us));
+  Buffer.add_string buf
+    (Printf.sprintf {|"minor_words":%s,"major_words":%s|} (Obs.json_float s.minor_words)
+       (Obs.json_float s.major_words));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf {|,"%s":"%s"|} (Obs.json_escape k) (Obs.json_escape v)))
+    s.args;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let to_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf {|{"traceEvents":[|};
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (event_json s))
+    (snapshot ());
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let summary () =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let count, total = try Hashtbl.find tbl s.name with Not_found -> (0, 0.0) in
+      Hashtbl.replace tbl s.name (count + 1, total +. s.dur_us))
+    (snapshot ());
+  Hashtbl.fold (fun name (count, total) acc -> (name, count, total) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let write path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_json ()))
+
+(* ---- activation ---- *)
+
+let sink = ref None
+let hook_registered = ref false
+
+(* An unwritable sink must not turn a finished run into a non-zero exit. *)
+let write_or_warn f =
+  try write f
+  with Sys_error msg -> Printf.eprintf "dcs_obs: cannot write trace: %s\n%!" msg
+
+let enable ~file =
+  Obs.set_tracing true;
+  sink := Some file;
+  if not !hook_registered then begin
+    hook_registered := true;
+    at_exit (fun () -> match !sink with None -> () | Some f -> write_or_warn f)
+  end
+
+let () =
+  match Sys.getenv_opt "DCS_TRACE" with
+  | Some f when String.trim f <> "" -> enable ~file:(String.trim f)
+  | _ -> ()

@@ -2,6 +2,10 @@
 
 let infinity_dist = max_int
 
+let m_phases = Metrics.counter "matching.phases"
+let m_augmentations = Metrics.counter "matching.augmentations"
+let m_path_len = Metrics.histo "matching.augment_path_len"
+
 let hopcroft_karp ~l ~r ~edges =
   (* edges.(i) : list of right indices adjacent to left index i *)
   ignore r;
@@ -33,14 +37,24 @@ let hopcroft_karp ~l ~r ~edges =
     done;
     !reachable_free
   in
-  let rec dfs i =
+  (* [leaf_depth] is the number of matched edges the successful augmenting
+     path traversed; the path length in edges is [2 * leaf_depth + 1]. *)
+  let leaf_depth = ref 0 in
+  let rec dfs i depth =
     let rec try_edges = function
       | [] ->
           dist.(i) <- infinity_dist;
           false
       | j :: rest ->
           let next = match_r.(j) in
-          let ok = if next < 0 then true else if dist.(next) = dist.(i) + 1 then dfs next else false in
+          let ok =
+            if next < 0 then begin
+              leaf_depth := depth;
+              true
+            end
+            else if dist.(next) = dist.(i) + 1 then dfs next (depth + 1)
+            else false
+          in
           if ok then begin
             match_l.(i) <- j;
             match_r.(j) <- i;
@@ -51,8 +65,12 @@ let hopcroft_karp ~l ~r ~edges =
     try_edges edges.(i)
   in
   while bfs () do
+    Metrics.incr m_phases;
     for i = 0 to l - 1 do
-      if match_l.(i) < 0 then ignore (dfs i)
+      if match_l.(i) < 0 && dfs i 0 then begin
+        Metrics.incr m_augmentations;
+        Metrics.observe m_path_len ((2 * !leaf_depth) + 1)
+      end
     done
   done;
   match_l

@@ -11,7 +11,11 @@ type stats = {
 
 let remaining p = Array.length p.path - 1 - p.pos
 
-let run ~n routing =
+let m_rounds = Metrics.counter "packet_sim.rounds"
+let m_round_queue = Metrics.gauge "packet_sim.round_queue"
+let m_latency = Metrics.histo "packet_sim.latency"
+
+let run ~n routing = Trace.with_span ~name:"packet_sim.run" @@ fun () ->
   Array.iter
     (fun p -> if Array.length p = 0 then invalid_arg "Packet_sim.run: empty path")
     routing;
@@ -84,9 +88,13 @@ let run ~n routing =
     done;
     List.iter (fun p -> queues.(p.path.(p.pos)) <- p :: queues.(p.path.(p.pos))) !arrivals;
     let widest = Array.fold_left (fun acc q -> max acc (List.length q)) 0 queues in
-    max_queue := max !max_queue widest
+    max_queue := max !max_queue widest;
+    (* the widest queue this round is the instantaneous congestion *)
+    Metrics.incr m_rounds;
+    Metrics.set_gauge m_round_queue widest
   done;
   if !pending > 0 then failwith "Packet_sim.run: schedule exceeded the C*D guard (bug)";
+  if !Obs.metrics then Array.iter (fun d -> Metrics.observe m_latency d) delivery;
   let makespan = Array.fold_left max 0 delivery in
   let avg_latency =
     if k = 0 then 0.0

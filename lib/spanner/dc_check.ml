@@ -53,12 +53,21 @@ let estimate ?(trials = 20) ~alpha ~beta (dc : Dc.t) rng =
       Array.map (fun { Routing.src; dst } -> [| src; dst |]) problem
     else Sp_routing.route_random csr rng problem
   in
+  let m_trials = Metrics.counter "dc_check.trials" in
+  let m_successes = Metrics.counter "dc_check.successes" in
   let successes = ref 0 in
   let worst_dist = ref 0.0 and worst_cong = ref 0.0 in
   for i = 0 to trials - 1 do
-    let routing = sample_routing i in
-    let verdict = check_routing ~alpha ~beta dc rng routing in
-    if verdict.ok then incr successes;
+    let verdict =
+      Trace.with_span ~name:"dc_check.trial" (fun () ->
+          let routing = sample_routing i in
+          check_routing ~alpha ~beta dc rng routing)
+    in
+    Metrics.incr m_trials;
+    if verdict.ok then begin
+      incr successes;
+      Metrics.incr m_successes
+    end;
     worst_dist := max !worst_dist verdict.dist_stretch;
     worst_cong := max !worst_cong verdict.cong_stretch
   done;

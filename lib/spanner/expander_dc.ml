@@ -15,10 +15,17 @@ let default_p g =
   let delta = float_of_int (max 1 (Graph.max_degree g)) in
   min 1.0 ((n ** (2.0 /. 3.0)) /. delta)
 
+let m_fallbacks = Metrics.counter "spanner.router_fallbacks"
+let m_cache_miss = Metrics.counter "spanner.candidate_cache_miss"
+
 let build ?p rng g =
   let p = match p with Some p -> min 1.0 (max 1e-9 p) | None -> default_p g in
-  let spanner = Graph.empty_like g in
-  Graph.iter_edges g (fun u v -> if Prng.bool rng p then ignore (Graph.add_edge spanner u v));
+  let spanner =
+    Trace.with_span ~name:"spanner.sampling" (fun () ->
+        let spanner = Graph.empty_like g in
+        Graph.iter_edges g (fun u v -> if Prng.bool rng p then ignore (Graph.add_edge spanner u v));
+        spanner)
+  in
   { spanner; p; fallbacks = ref 0; cache = Hashtbl.create 256 }
 
 (* Lemma 4 matching between the neighborhoods, then keep the 2/3-hop paths
@@ -29,6 +36,7 @@ let candidates_for t g u v =
   match Hashtbl.find_opt t.cache (u, v) with
   | Some c -> c
   | None ->
+      Metrics.incr m_cache_miss;
       let h = t.spanner in
       let commons, matched = Bipartite_matching.neighborhood_matching g u v in
       let two_hop =
@@ -62,6 +70,7 @@ let router t g rng pairs =
         let candidates = candidates_for t g u v in
         if Array.length candidates = 0 then begin
           incr t.fallbacks;
+          Metrics.incr m_fallbacks;
           match Bfs.shortest_path (Lazy.force csr) u v with
           | Some p -> p
           | None -> failwith "Expander_dc.router: spanner disconnected for pair"

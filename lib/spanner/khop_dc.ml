@@ -11,24 +11,30 @@ let build ?rho ~k rng g =
   if k = 1 then
     { spanner = Graph.copy g; sampled = Graph.copy g; k; rho = 1.0; reinserted = 0 }
   else begin
-    let sampled = Graph.empty_like g in
-    Graph.iter_edges g (fun u v -> if Prng.bool rng rho then ignore (Graph.add_edge sampled u v));
+    let sampled =
+      Trace.with_span ~name:"spanner.sampling" (fun () ->
+          let sampled = Graph.empty_like g in
+          Graph.iter_edges g (fun u v ->
+              if Prng.bool rng rho then ignore (Graph.add_edge sampled u v));
+          sampled)
+    in
     let spanner = Graph.copy sampled in
     let bound = (2 * k) - 1 in
     (* Distance-repair: reinsert removed edges with no (2k-1)-detour.  The
        CSR snapshot is refreshed lazily — reinserted edges only shorten
        distances, so checking against a stale snapshot is conservative
        (it may reinsert a few extra edges, never too few). *)
-    let csr = Csr.of_graph sampled in
     let reinserted = ref 0 in
-    Graph.iter_edges g (fun u v ->
-        if not (Graph.mem_edge spanner u v) then begin
-          let d = Bfs.distance_bounded csr u v ~bound in
-          if d < 0 then begin
-            ignore (Graph.add_edge spanner u v);
-            incr reinserted
-          end
-        end);
+    Trace.with_span ~name:"spanner.repair" (fun () ->
+        let csr = Csr.of_graph sampled in
+        Graph.iter_edges g (fun u v ->
+            if not (Graph.mem_edge spanner u v) then begin
+              let d = Bfs.distance_bounded csr u v ~bound in
+              if d < 0 then begin
+                ignore (Graph.add_edge spanner u v);
+                incr reinserted
+              end
+            end));
     { spanner; sampled; k; rho; reinserted = !reinserted }
   end
 

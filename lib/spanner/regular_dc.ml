@@ -26,6 +26,9 @@ let resolve_thresholds thresholds ~n ~delta ~delta' =
       let b = int_of_float (ceil (c1 *. float_of_int delta)) in
       (a, b)
 
+let m_reinserted = Metrics.counter "spanner.reinserted"
+let m_repaired = Metrics.counter "spanner.repaired"
+
 let build ?(thresholds = Scaled) ?(repair = true) rng g =
   let n = Graph.n g in
   let delta = Graph.max_degree g in
@@ -33,40 +36,51 @@ let build ?(thresholds = Scaled) ?(repair = true) rng g =
   let rho = if delta = 0 then 1.0 else float_of_int delta' /. float_of_int delta in
   let support_a, support_b = resolve_thresholds thresholds ~n ~delta ~delta' in
   (* Line 3-5: keep each edge with probability ρ. *)
-  let sampled = Graph.empty_like g in
-  Graph.iter_edges g (fun u v -> if Prng.bool rng rho then ignore (Graph.add_edge sampled u v));
+  let sampled =
+    Trace.with_span ~name:"spanner.sampling" (fun () ->
+        let sampled = Graph.empty_like g in
+        Graph.iter_edges g (fun u v ->
+            if Prng.bool rng rho then ignore (Graph.add_edge sampled u v));
+        sampled)
+  in
   (* Line 8-9: reinsert edges that are not (a, b)-supported in any direction. *)
-  let bm = Bitmat.of_graph g in
-  let spanner = Graph.copy sampled in
-  let reinserted = ref 0 in
-  Graph.iter_edges g (fun u v ->
-      if
-        (not (Graph.mem_edge spanner u v))
-        && not (Support.is_ab_supported g bm u v ~a:support_a ~b:support_b)
-      then begin
-        ignore (Graph.add_edge spanner u v);
-        incr reinserted
-      end);
+  let spanner, reinserted =
+    Trace.with_span ~name:"spanner.sparsify" (fun () ->
+        let bm = Bitmat.of_graph g in
+        let spanner = Graph.copy sampled in
+        let reinserted = ref 0 in
+        Graph.iter_edges g (fun u v ->
+            if
+              (not (Graph.mem_edge spanner u v))
+              && not (Support.is_ab_supported g bm u v ~a:support_a ~b:support_b)
+            then begin
+              ignore (Graph.add_edge spanner u v);
+              incr reinserted
+            end);
+        (spanner, reinserted))
+  in
+  Metrics.add m_reinserted !reinserted;
   (* Repair pass: a supported removed edge is safe only if one of its
      3-detours survived the sampling (Corollary 2 makes failures rare but
      possible); reinserting the stragglers makes stretch 3 unconditional. *)
   let repaired = ref 0 in
-  if repair then begin
-    let missing = ref [] in
-    Graph.iter_edges g (fun u v ->
-        if not (Graph.mem_edge spanner u v) then begin
-          let has_detour =
-            Support.two_detours spanner ~u ~v ~cap:1 <> []
-            || Support.three_detours spanner ~u ~v ~cap:1 <> []
-          in
-          if not has_detour then missing := (u, v) :: !missing
-        end);
-    List.iter
-      (fun (u, v) ->
-        ignore (Graph.add_edge spanner u v);
-        incr repaired)
-      !missing
-  end;
+  if repair then
+    Trace.with_span ~name:"spanner.repair" (fun () ->
+        let missing = ref [] in
+        Graph.iter_edges g (fun u v ->
+            if not (Graph.mem_edge spanner u v) then begin
+              let has_detour =
+                Support.two_detours spanner ~u ~v ~cap:1 <> []
+                || Support.three_detours spanner ~u ~v ~cap:1 <> []
+              in
+              if not has_detour then missing := (u, v) :: !missing
+            end);
+        List.iter
+          (fun (u, v) ->
+            ignore (Graph.add_edge spanner u v);
+            incr repaired)
+          !missing);
+  Metrics.add m_repaired !repaired;
   {
     spanner;
     sampled;

@@ -1,35 +1,40 @@
 let exact_impl g h ~bound =
-  let hc = Csr.of_graph h in
-  let worst = ref 1 in
-  (try
-     Graph.iter_edges g (fun u v ->
-         if not (Graph.mem_edge h u v) then begin
-           let d = Bfs.distance_bounded hc u v ~bound in
-           if d < 0 then begin
-             worst := max_int;
-             raise Exit
-           end;
-           worst := max !worst d
-         end)
-   with Exit -> ());
-  !worst
+  Trace.with_span ~name:"spanner.certify" (fun () ->
+      let hc = Csr.of_graph h in
+      let worst = ref 1 in
+      Trace.with_span ~name:"bfs.sweep" (fun () ->
+          try
+            Graph.iter_edges g (fun u v ->
+                if not (Graph.mem_edge h u v) then begin
+                  let d = Bfs.distance_bounded hc u v ~bound in
+                  if d < 0 then begin
+                    worst := max_int;
+                    raise Exit
+                  end;
+                  worst := max !worst d
+                end)
+          with Exit -> ());
+      !worst)
 
 let exact g h = exact_impl g h ~bound:max_int
 
 let exact_parallel ?domains ?(bound = max_int) g h =
-  let hc = Csr.of_graph h in
-  let removed = ref [] in
-  Graph.iter_edges g (fun u v -> if not (Graph.mem_edge h u v) then removed := (u, v) :: !removed);
-  let removed = Array.of_list !removed in
-  if Array.length removed = 0 then 1
-  else begin
-    let per_edge i =
-      let u, v = removed.(i) in
-      let d = Bfs.distance_bounded hc u v ~bound in
-      if d < 0 then max_int else d
-    in
-    max 1 (Parallel.max_range ?domains (Array.length removed) per_edge)
-  end
+  Trace.with_span ~name:"spanner.certify" (fun () ->
+      let hc = Csr.of_graph h in
+      let removed = ref [] in
+      Graph.iter_edges g (fun u v ->
+          if not (Graph.mem_edge h u v) then removed := (u, v) :: !removed);
+      let removed = Array.of_list !removed in
+      if Array.length removed = 0 then 1
+      else begin
+        let per_edge i =
+          let u, v = removed.(i) in
+          let d = Bfs.distance_bounded hc u v ~bound in
+          if d < 0 then max_int else d
+        in
+        Trace.with_span ~name:"bfs.sweep" (fun () ->
+            max 1 (Parallel.max_range ?domains (Array.length removed) per_edge))
+      end)
 
 let exact_bounded g h ~bound = exact_impl g h ~bound
 

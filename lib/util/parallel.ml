@@ -1,3 +1,22 @@
+(* Per-domain utilization: one span per chunk (the trace viewer renders one
+   lane per domain id) and a histogram of chunk wall times.  The timing reads
+   happen only when the corresponding flag is on, so the disabled path adds
+   one closure call per *chunk* (not per element). *)
+let m_spawns = Metrics.counter "parallel.spawns"
+let m_chunks = Metrics.counter "parallel.chunks"
+let m_chunk_us = Metrics.histo "parallel.chunk_us"
+
+let observed_chunk f =
+  Trace.with_span ~name:"parallel.chunk" (fun () ->
+      if not !Obs.metrics then f ()
+      else begin
+        let t = Obs.now_us () in
+        let r = f () in
+        Metrics.incr m_chunks;
+        Metrics.observe m_chunk_us (int_of_float (Obs.now_us () -. t));
+        r
+      end)
+
 let default_domains () =
   match Sys.getenv_opt "DCS_DOMAINS" with
   | Some s -> (
@@ -31,10 +50,12 @@ let map_range ?domains n f =
         let handles =
           List.map
             (fun (start, len) ->
-              Domain.spawn (fun () -> Array.init len (fun i -> f (start + i))))
+              Metrics.incr m_spawns;
+              Domain.spawn (fun () ->
+                  observed_chunk (fun () -> Array.init len (fun i -> f (start + i)))))
             rest
         in
-        let head = Array.init head_len (fun i -> f (head_start + i)) in
+        let head = observed_chunk (fun () -> Array.init head_len (fun i -> f (head_start + i))) in
         let parts = head :: List.map Domain.join handles in
         Array.concat parts
   end
@@ -60,7 +81,13 @@ let max_range ?domains n f =
     match chunks n domains with
     | [] -> min_int
     | head :: rest ->
-        let handles = List.map (fun c -> Domain.spawn (fun () -> chunk_max c)) rest in
-        let acc = chunk_max head in
+        let handles =
+          List.map
+            (fun c ->
+              Metrics.incr m_spawns;
+              Domain.spawn (fun () -> observed_chunk (fun () -> chunk_max c)))
+            rest
+        in
+        let acc = observed_chunk (fun () -> chunk_max head) in
         List.fold_left (fun acc h -> max acc (Domain.join h)) acc handles
   end

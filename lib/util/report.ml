@@ -35,6 +35,19 @@ let csv t =
   List.iter (fun note -> Buffer.add_string buf ("# " ^ note ^ "\n")) (List.rev t.notes);
   Buffer.contents buf
 
+let to_json t =
+  let buf = Buffer.create 512 in
+  let str s = "\"" ^ Obs.json_escape s ^ "\"" in
+  let str_list l = "[" ^ String.concat "," (List.map str l) ^ "]" in
+  Buffer.add_string buf (Printf.sprintf "{\n\"title\":%s,\n\"columns\":%s,\n\"rows\":[" (str t.title) (str_list t.columns));
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf ("\n  " ^ str_list row))
+    (List.rev t.rows);
+  Buffer.add_string buf (Printf.sprintf "\n],\n\"notes\":%s\n}\n" (str_list (List.rev t.notes)));
+  Buffer.contents buf
+
 let slug title =
   String.map
     (fun c ->
@@ -43,18 +56,22 @@ let slug title =
       | _ -> '_')
     title
 
-let maybe_write_csv t =
-  match Sys.getenv_opt "DCS_BENCH_CSV" with
+let maybe_write env ext render t =
+  match Sys.getenv_opt env with
   | None -> ()
   | Some dir ->
       if Sys.file_exists dir && Sys.is_directory dir then begin
-        let path = Filename.concat dir (slug t.title ^ ".csv") in
+        let path = Filename.concat dir (slug t.title ^ ext) in
         let oc = open_out path in
-        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (csv t))
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render t))
       end
+
+let maybe_write_csv t = maybe_write "DCS_BENCH_CSV" ".csv" csv t
+let maybe_write_json t = maybe_write "DCS_BENCH_JSON" ".json" to_json t
 
 let print t =
   maybe_write_csv t;
+  maybe_write_json t;
   let rows = List.rev t.rows in
   let all = t.columns :: rows in
   let ncols = List.length t.columns in

@@ -19,13 +19,20 @@ val add_note : t -> string -> unit
 
 val print : t -> unit
 (** Render to stdout with column alignment and a rule under the header.
-    When the [DCS_BENCH_CSV] environment variable names a directory, also
-    write the table there as [<slug-of-title>.csv] (see {!csv}). *)
+    When the [DCS_BENCH_CSV] (resp. [DCS_BENCH_JSON]) environment variable
+    names a directory, also write the table there as [<slug-of-title>.csv]
+    (see {!csv}) resp. [.json] (see {!to_json}). *)
 
 val csv : t -> string
 (** The table as RFC-4180-ish CSV (header row + data rows; cells containing
     commas or quotes are quoted).  Notes are emitted as trailing comment
     lines starting with [#]. *)
+
+val to_json : t -> string
+(** The table as a JSON object
+    [{"title": ..., "columns": [...], "rows": [[...]], "notes": [...]}] —
+    the machine-readable form used for perf-trajectory tracking across
+    bench runs. *)
 
 val section : string -> unit
 (** Print a prominent section banner. *)

@@ -1,0 +1,358 @@
+(* Tests for dcs_obs: span recording and Chrome-trace export, the sharded
+   metrics registry under domain fan-out, disabled-mode silence, and the
+   machine-readable report formats the dumps share their escaping with. *)
+
+let check = Alcotest.check
+
+(* ---- a minimal JSON reader (no external dependency) ----------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let lit word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_body () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "bad escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad \\u";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              (* the emitters only escape ASCII control chars this way *)
+              if code < 128 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_string b (Printf.sprintf "\\u%04x" code)
+          | c -> fail (Printf.sprintf "bad escape %C" c));
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected , or }"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elements ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected , or ]"
+          in
+          elements ();
+          List (List.rev !items)
+        end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> lit "true" (Bool true)
+    | Some 'f' -> lit "false" (Bool false)
+    | Some 'n' -> lit "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj fields -> ( match List.assoc_opt k fields with Some v -> v | None -> Null)
+  | _ -> Null
+
+let num_of = function Num f -> f | _ -> nan
+
+(* Observability state is process-global; every test starts from a clean,
+   enabled (or explicitly disabled) slate and restores "off" afterwards. *)
+let with_obs ~tracing ~metrics f =
+  Trace.clear ();
+  Metrics.reset ();
+  Obs.set_tracing tracing;
+  Obs.set_metrics metrics;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_tracing false;
+      Obs.set_metrics false)
+    f
+
+(* ---- tracing -------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      let r =
+        Trace.with_span ~name:"outer" (fun () ->
+            let a = Trace.with_span ~name:"inner_a" (fun () -> 1) in
+            let b = Trace.with_span ~name:"inner_b" (fun () -> 2) in
+            a + b)
+      in
+      check Alcotest.int "with_span is transparent" 3 r;
+      let spans = Trace.snapshot () in
+      check Alcotest.int "three spans recorded" 3 (List.length spans);
+      let find name = List.find (fun s -> s.Trace.name = name) spans in
+      let outer = find "outer" and ia = find "inner_a" and ib = find "inner_b" in
+      let inside inner =
+        inner.Trace.ts_us >= outer.Trace.ts_us
+        && inner.Trace.ts_us +. inner.Trace.dur_us <= outer.Trace.ts_us +. outer.Trace.dur_us
+      in
+      check Alcotest.bool "inner_a contained in outer" true (inside ia);
+      check Alcotest.bool "inner_b contained in outer" true (inside ib);
+      check Alcotest.bool "inners do not overlap" true
+        (ia.Trace.ts_us +. ia.Trace.dur_us <= ib.Trace.ts_us))
+
+let test_span_survives_raise () =
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      (try Trace.with_span ~name:"doomed" (fun () -> failwith "boom") with Failure _ -> ());
+      let spans = Trace.snapshot () in
+      check Alcotest.int "span recorded despite the raise" 1 (List.length spans))
+
+let test_trace_json_well_formed () =
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      Trace.with_span
+        ~args:[ ("note", "quote \" backslash \\ newline \n done") ]
+        ~name:"weird \"name\"\n"
+        (fun () -> Trace.with_span ~name:"child" (fun () -> ()));
+      let doc = parse_json (Trace.to_json ()) in
+      match member "traceEvents" doc with
+      | List events ->
+          check Alcotest.int "two events" 2 (List.length events);
+          List.iter
+            (fun e ->
+              check Alcotest.bool "has name" true (member "name" e <> Null);
+              check Alcotest.bool "complete event" true (member "ph" e = Str "X");
+              check Alcotest.bool "dur is a number" false (Float.is_nan (num_of (member "dur" e))))
+            events
+      | _ -> Alcotest.fail "traceEvents missing")
+
+let test_trace_summary () =
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      for _ = 1 to 3 do
+        Trace.with_span ~name:"phase" (fun () -> ())
+      done;
+      match Trace.summary () with
+      | [ ("phase", 3, total) ] -> check Alcotest.bool "total >= 0" true (total >= 0.0)
+      | _ -> Alcotest.fail "expected a single aggregated row")
+
+(* ---- metrics -------------------------------------------------------- *)
+
+let test_counter_parallel_fanout () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let c = Metrics.counter "test.fanout" in
+      let n = 1000 in
+      let expected = n * (n - 1) / 2 in
+      for run = 1 to 3 do
+        Metrics.reset ();
+        let out =
+          Parallel.map_range ~domains:4 n (fun i ->
+              Metrics.add c i;
+              i)
+        in
+        check Alcotest.int "map_range output intact" n (Array.length out);
+        check Alcotest.int
+          (Printf.sprintf "shards fold to the exact total (run %d)" run)
+          expected (Metrics.counter_value c)
+      done)
+
+let test_gauge_last_and_peak () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let g = Metrics.gauge "test.gauge" in
+      List.iter (Metrics.set_gauge g) [ 3; 17; 5 ];
+      check Alcotest.int "last" 5 (Metrics.gauge_last g);
+      check Alcotest.int "peak" 17 (Metrics.gauge_peak g))
+
+let test_histo_stats () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let h = Metrics.histo "test.histo" in
+      List.iter (Metrics.observe h) [ 1; 2; 4; 100 ];
+      let count, sum, mn, mx = Metrics.histo_stats h in
+      check Alcotest.int "count" 4 count;
+      check Alcotest.int "sum" 107 sum;
+      check Alcotest.int "min" 1 mn;
+      check Alcotest.int "max" 100 mx)
+
+let test_metrics_json_folds_shards () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let c = Metrics.counter "test.folded" in
+      ignore (Parallel.map_range ~domains:4 64 (fun i -> Metrics.add c 2; i));
+      let doc = parse_json (Metrics.to_json ()) in
+      let v = num_of (member "test.folded" (member "counters" doc)) in
+      check (Alcotest.float 0.0) "one folded total in the dump" 128.0 v)
+
+let test_disabled_mode_emits_nothing () =
+  with_obs ~tracing:false ~metrics:false (fun () ->
+      let c = Metrics.counter "test.silent" in
+      let g = Metrics.gauge "test.silent_gauge" in
+      let h = Metrics.histo "test.silent_histo" in
+      let r =
+        Trace.with_span ~name:"invisible" (fun () ->
+            Metrics.incr c;
+            Metrics.add c 41;
+            Metrics.set_gauge g 9;
+            Metrics.observe h 9;
+            7)
+      in
+      check Alcotest.int "with_span still transparent" 7 r;
+      check Alcotest.int "no spans" 0 (List.length (Trace.snapshot ()));
+      check Alcotest.int "counter untouched" 0 (Metrics.counter_value c);
+      check Alcotest.int "gauge untouched" 0 (Metrics.gauge_peak g);
+      let count, _, _, _ = Metrics.histo_stats h in
+      check Alcotest.int "histo untouched" 0 count)
+
+(* ---- report formats the dumps share their escaping with -------------- *)
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  lb = 0 || go 0
+
+let test_report_csv_quoting () =
+  let t = Report.create ~title:"edge cases" ~columns:[ "plain"; "tricky" ] in
+  Report.add_row t [ "a"; "has,comma" ];
+  Report.add_row t [ "b"; "has \"quote\"" ];
+  Report.add_row t [ "c"; "line\nbreak" ];
+  let csv = Report.csv t in
+  check Alcotest.bool "comma cell quoted" true (contains ~sub:"\"has,comma\"" csv);
+  check Alcotest.bool "quote cell doubled" true (contains ~sub:"\"has \"\"quote\"\"\"" csv)
+
+let test_report_json_escaping () =
+  let t = Report.create ~title:"json \"title\"" ~columns:[ "c" ] in
+  Report.add_row t [ "cell with \"quotes\" and \\ and \nnewline" ];
+  Report.add_note t "a note";
+  let doc = parse_json (Report.to_json t) in
+  check Alcotest.string "title round-trips" "json \"title\""
+    (match member "title" doc with Str s -> s | _ -> "?");
+  (match member "rows" doc with
+  | List [ List [ Str cell ] ] ->
+      check Alcotest.string "cell round-trips" "cell with \"quotes\" and \\ and \nnewline" cell
+  | _ -> Alcotest.fail "rows shape");
+  match member "notes" doc with
+  | List [ Str "a note" ] -> ()
+  | _ -> Alcotest.fail "notes shape"
+
+let test_percentile_extremes () =
+  let xs = [| 5.0; 1.0; 9.0; 3.0 |] in
+  check (Alcotest.float 0.0) "p0 is the minimum" 1.0 (Stats.percentile xs 0.0);
+  check (Alcotest.float 0.0) "p100 is the maximum" 9.0 (Stats.percentile xs 100.0);
+  check (Alcotest.float 0.0) "singleton at any p" 4.0 (Stats.percentile [| 4.0 |] 50.0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span survives raise" `Quick test_span_survives_raise;
+          Alcotest.test_case "json well-formed" `Quick test_trace_json_well_formed;
+          Alcotest.test_case "summary aggregates" `Quick test_trace_summary;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "parallel fan-out exact" `Quick test_counter_parallel_fanout;
+          Alcotest.test_case "gauge last/peak" `Quick test_gauge_last_and_peak;
+          Alcotest.test_case "histo stats" `Quick test_histo_stats;
+          Alcotest.test_case "json folds shards" `Quick test_metrics_json_folds_shards;
+          Alcotest.test_case "disabled emits nothing" `Quick test_disabled_mode_emits_nothing;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "csv quoting" `Quick test_report_csv_quoting;
+          Alcotest.test_case "json escaping" `Quick test_report_json_escaping;
+          Alcotest.test_case "percentile extremes" `Quick test_percentile_extremes;
+        ] );
+    ]
