@@ -3,7 +3,8 @@
    benches for the constructions.
 
    Usage:  dune exec bench/main.exe [-- block ...]
-   Blocks: table1 figures lemmas distributed ablations timing all (default all).
+   Blocks: table1 figures lemmas distributed ablations extensions fault timing obs
+   all (default all).
    Set DCS_BENCH_SCALE=quick for smaller sweeps (CI), =full for larger. *)
 
 let scale =
@@ -1029,6 +1030,137 @@ let run_extensions () =
   ext_packets ()
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: degraded-mode routing + self-healing repair        *)
+(* ------------------------------------------------------------------ *)
+
+let fault_degradation_sweep () =
+  Report.subsection "fault/degradation_sweep  (random node failures vs delivery and repair)";
+  Printf.printf
+    "permutation flows routed in each spanner while nodes fail uniformly at rate p\n";
+  Printf.printf
+    "mid-delivery (round 2); lost packets retransmit from the source and reroute in\n";
+  Printf.printf "the survivor spanner; Repair then heals the spanner inside the survivor graph\n\n";
+  let n = pick ~quick:150 ~standard:216 ~full:343 in
+  let d = int_of_float (float_of_int n ** 0.7) in
+  let g = regular_expander 1201 n d in
+  let rates =
+    pick ~quick:[ 0.02; 0.1 ] ~standard:[ 0.02; 0.05; 0.1; 0.2 ]
+      ~full:[ 0.01; 0.02; 0.05; 0.1; 0.2; 0.3 ]
+  in
+  let table =
+    Report.create
+      ~title:(Printf.sprintf "degradation sweep (n=%d, Delta=%d, faults at round 2)" n
+                (even_degree n d))
+      ~columns:
+        [
+          "construction";
+          "p";
+          "faults";
+          "delivered";
+          "dropped";
+          "retrans";
+          "reroutes";
+          "makespan";
+          "repair +e";
+          "certified";
+        ]
+  in
+  List.iter
+    (fun algo ->
+      let dc = Dc_spanner.build algo (Prng.create 1202) g in
+      let h = dc.Dc.spanner in
+      let problem = Problems.permutation (Prng.create 1203) g in
+      let routing = Sp_routing.route_random (Csr.of_graph h) (Prng.create 1204) problem in
+      List.iter
+        (fun p ->
+          let plan = Fault_plan.uniform_nodes ~round:2 (Prng.create 1205) g ~p in
+          let s = Fault_sim.run ~n:(Graph.n g) ~network:h ~plan routing in
+          let rep =
+            Repair.run (Fault_plan.survivor h plan) ~within:(Fault_plan.survivor g plan)
+          in
+          Report.add_row table
+            [
+              dc.Dc.name;
+              fmt p;
+              string_of_int s.Fault_sim.failed_nodes;
+              Printf.sprintf "%d/%d" s.Fault_sim.delivered (Array.length routing);
+              string_of_int s.Fault_sim.dropped;
+              string_of_int s.Fault_sim.retransmits;
+              string_of_int s.Fault_sim.reroutes;
+              string_of_int s.Fault_sim.makespan;
+              string_of_int (List.length rep.Repair.added);
+              string_of_bool rep.Repair.certified;
+            ])
+        rates)
+    [ Dc_spanner.Theorem2; Dc_spanner.Algorithm1; Dc_spanner.Greedy 2; Dc_spanner.Baswana_sen ];
+  Report.add_note table "drops are packets whose endpoint died (unavoidable) or that exhausted";
+  Report.add_note table "their retransmission budget; the DC spanners' spare detours keep the";
+  Report.add_note table "reroute success rate up and the repair bill low at the same p.";
+  Report.print table
+
+let fault_vft_attack () =
+  Report.subsection "fault/vft_attack  (Figure 1 under the targeted matching attack)";
+  Printf.printf
+    "the paper's VFT foil: kill all but one kept matching edge of the Figure 1\n";
+  Printf.printf
+    "spanner mid-delivery -- every cross packet must reroute through the single\n";
+  Printf.printf "survivor, the congestion collapse the DC property is designed to prevent\n\n";
+  let ns = pick ~quick:[ 64 ] ~standard:[ 64; 128 ] ~full:[ 64; 128; 256 ] in
+  let table =
+    Report.create ~title:"targeted edge faults on the VFT spanner"
+      ~columns:
+        [
+          "n";
+          "kept";
+          "killed";
+          "delivered";
+          "dropped";
+          "retrans";
+          "reroutes";
+          "makespan";
+          "repair +e";
+          "certified";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let t = Vft_example.make n in
+      let g = t.Vft_example.graph and h = t.Vft_example.spanner in
+      let routing = Vft_example.route t (Prng.create (1300 + n)) in
+      let kept = t.Vft_example.kept in
+      let killed =
+        (* spare kept.(0): the attack leaves exactly one cross edge alive *)
+        Array.to_list (Array.map (fun i -> (i, i + t.Vft_example.half)) kept) |> List.tl
+      in
+      let plan = Fault_plan.targeted_edges ~round:2 ~n:(Graph.n g) killed in
+      let s = Fault_sim.run ~n:(Graph.n g) ~network:h ~plan routing in
+      let rep = Repair.run (Fault_plan.survivor h plan) ~within:(Fault_plan.survivor g plan) in
+      Report.add_row table
+        [
+          string_of_int n;
+          string_of_int (Array.length kept);
+          string_of_int (List.length killed);
+          Printf.sprintf "%d/%d" s.Fault_sim.delivered (Array.length routing);
+          string_of_int s.Fault_sim.dropped;
+          string_of_int s.Fault_sim.retransmits;
+          string_of_int s.Fault_sim.reroutes;
+          string_of_int s.Fault_sim.makespan;
+          string_of_int (List.length rep.Repair.added);
+          string_of_bool rep.Repair.certified;
+        ])
+    ns;
+  Report.add_note table "repair adds nothing: one surviving cross edge already gives every";
+  Report.add_note table "matching pair a 3-hop detour, so the spanner re-certifies -- yet that";
+  Report.add_note table "edge carries every rerouted packet (makespan tracks the serialization).";
+  Report.add_note table "distance stretch alone cannot see the collapse; that is Figure 1's point.";
+  Report.print table
+
+let run_fault () =
+  Report.section "FAULT INJECTION (degraded-mode routing and self-healing repair)";
+  fault_degradation_sweep ();
+  fault_vft_attack ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1215,7 +1347,17 @@ let run_obs () =
 (* ------------------------------------------------------------------ *)
 
 let all_blocks =
-  [ "table1"; "figures"; "lemmas"; "distributed"; "ablations"; "extensions"; "timing"; "obs" ]
+  [
+    "table1";
+    "figures";
+    "lemmas";
+    "distributed";
+    "ablations";
+    "extensions";
+    "fault";
+    "timing";
+    "obs";
+  ]
 
 let print_trace_breakdown () =
   match Trace.summary () with
@@ -1260,11 +1402,13 @@ let () =
           | "distributed" -> run_distributed ()
           | "ablations" -> run_ablations ()
           | "extensions" -> run_extensions ()
+          | "fault" -> run_fault ()
           | "timing" -> run_timing ()
           | "obs" -> run_obs ()
           | other ->
               Printf.printf
-                "unknown block %S (use table1|figures|lemmas|distributed|ablations|extensions|timing|obs)\n"
+                "unknown block %S (use \
+                 table1|figures|lemmas|distributed|ablations|extensions|fault|timing|obs)\n"
                 other))
     blocks;
   if !Obs.tracing then print_trace_breakdown ()

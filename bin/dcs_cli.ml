@@ -3,6 +3,7 @@
    Subcommands:
      graph        generate a graph family and print its statistics
      spanner      build a spanner and measure both stretches
+     faults       inject faults, simulate degraded routing, self-heal the spanner
      lowerbound   run the Theorem 4 lower-bound experiment
      distributed  run the Corollary 3 LOCAL protocol
 
@@ -45,11 +46,17 @@ let obs_term =
 
 (* ---- graph families ---- *)
 
+(* Malformed input files surface as a proper runtime error (exit 123) with
+   the file/line context carried by [Io_error.Parse_error], not a crash. *)
+let catch_parse f =
+  try Ok (f ())
+  with Io_error.Parse_error { file; line; msg } -> Error (Io_error.message ~file ~line msg)
+
 (* Unknown names return [Error] (surfaced through [Term.term_result'] as a
    proper error message + usage), never an uncaught exception. *)
 let make_graph ?input ~family ~n ~degree ~p ~seed () =
   match input with
-  | Some path -> Ok (Graph_io.read path)
+  | Some path -> catch_parse (fun () -> Graph_io.read path)
   | None -> (
       let rng = Prng.create seed in
       match family with
@@ -316,12 +323,13 @@ let route_cmd =
     let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
     let c = Csr.of_graph g in
     let rng = Prng.create (seed + 1) in
-    let problem =
+    let* problem =
       match problem_file with
-      | Some path -> Routing_io.read ~n:(Graph.n g) path
+      | Some path -> catch_parse (fun () -> Routing_io.read ~n:(Graph.n g) path)
       | None ->
-          if requests <= 0 then Problems.permutation rng g
-          else Problems.random_pairs rng g ~k:requests
+          Ok
+            (if requests <= 0 then Problems.permutation rng g
+             else Problems.random_pairs rng g ~k:requests)
     in
     let* routing =
       match strategy with
@@ -369,8 +377,8 @@ let verify_cmd =
       & info [ "spanner" ] ~docv:"FILE" ~doc:"The candidate spanner (edge-list file).")
   in
   let run () graph_file spanner_file seed trials =
-    let g = Graph_io.read graph_file in
-    let h = Graph_io.read spanner_file in
+    let* g = catch_parse (fun () -> Graph_io.read graph_file) in
+    let* h = catch_parse (fun () -> Graph_io.read spanner_file) in
     let* () =
       if Graph.n g <> Graph.n h then
         Error
@@ -401,6 +409,154 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify subgraph, distance stretch and congestion of a spanner file.")
+    term
+
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let rate_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "fail-rate" ] ~docv:"P"
+          ~doc:"Independent failure probability per node/edge (modes nodes and edges).")
+  in
+  let mode_arg =
+    Arg.(
+      value & opt string "nodes"
+      & info [ "fail-mode" ] ~docv:"MODE"
+          ~doc:"Fault model: nodes | edges | adversarial (kill the most-loaded nodes).")
+  in
+  let round_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "fail-round" ] ~docv:"R" ~doc:"Simulation round at which the faults strike.")
+  in
+  let kill_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "kill"; "k" ] ~docv:"K"
+          ~doc:"Nodes to kill in adversarial mode (0 = n/20, at least 1).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "requests"; "r" ] ~docv:"R"
+          ~doc:"Number of random requests (0 = a full random permutation).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "timeout" ] ~docv:"T" ~doc:"Rounds before a lost packet is first retransmitted.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "attempts" ] ~docv:"A" ~doc:"Retransmission attempts before a permanent drop.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the full fault report as JSON to $(docv).")
+  in
+  let run () family n degree p seed algorithm rate mode round kill requests timeout attempts json
+      input =
+    let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+    let* algo = algorithm_of_string algorithm in
+    let* () =
+      if rate < 0.0 || rate > 1.0 then Error "fail-rate must lie in [0, 1]"
+      else if round < 1 then Error "fail-round must be >= 1"
+      else if timeout < 1 || attempts < 1 then Error "timeout and attempts must be >= 1"
+      else Ok ()
+    in
+    let rng = Prng.create (seed + 1) in
+    let dc = Dc_spanner.build algo rng g in
+    let h = dc.Dc.spanner in
+    let nn = Graph.n g in
+    let problem =
+      if requests <= 0 then Problems.permutation rng g else Problems.random_pairs rng g ~k:requests
+    in
+    let* routing =
+      try Ok (Sp_routing.route_random (Csr.of_graph h) rng problem)
+      with Failure _ -> Error "the spanner disconnects the workload; cannot route in it"
+    in
+    let frng = Prng.create (seed + 2) in
+    let* plan =
+      match mode with
+      | "nodes" -> Ok (Fault_plan.uniform_nodes ~round frng g ~p:rate)
+      | "edges" -> Ok (Fault_plan.uniform_edges ~round frng g ~p:rate)
+      | "adversarial" ->
+          let k = if kill > 0 then kill else max 1 (nn / 20) in
+          Ok (Fault_plan.adversarial_load ~round ~n:nn routing ~k)
+      | other ->
+          Error
+            (Printf.sprintf "unknown fault mode %S (expected nodes | edges | adversarial)" other)
+    in
+    let s = Fault_sim.run ~timeout ~max_attempts:attempts ~n:nn ~network:h ~plan routing in
+    let g' = Fault_plan.survivor g plan in
+    let h' = Fault_plan.survivor h plan in
+    let rep = Repair.run h' ~within:g' in
+    Printf.printf "construction: %s\n" dc.Dc.name;
+    Printf.printf "graph:        n=%d m=%d, spanner m=%d\n" nn (Graph.m g) (Graph.m h);
+    Printf.printf "fault plan:   mode=%s rate=%.3f round=%d -> %d node faults, %d edge faults\n"
+      mode rate round (Fault_plan.node_faults plan) (Fault_plan.edge_faults plan);
+    Printf.printf "sim:          delivered %d/%d, dropped %d, retransmits %d, reroutes %d\n"
+      s.Fault_sim.delivered (Array.length routing) s.Fault_sim.dropped s.Fault_sim.retransmits
+      s.Fault_sim.reroutes;
+    Printf.printf "              makespan %d (C=%d D=%d), max queue %d, avg latency %.2f\n"
+      s.Fault_sim.makespan s.Fault_sim.congestion s.Fault_sim.dilation s.Fault_sim.max_queue
+      s.Fault_sim.avg_latency;
+    Printf.printf
+      "repair:       re-added %d edges (%d connectivity + %d stretch), connected %b, dist \
+       stretch %s, certified %b\n"
+      (List.length rep.Repair.added) rep.Repair.connectivity_added rep.Repair.stretch_added
+      rep.Repair.connected
+      (if rep.Repair.dist_stretch = max_int then "unbounded"
+       else string_of_int rep.Repair.dist_stretch)
+      rep.Repair.certified;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Printf.fprintf oc
+          "{\n\
+          \  \"construction\": \"%s\",\n\
+          \  \"graph\": { \"n\": %d, \"m\": %d },\n\
+          \  \"spanner\": { \"m\": %d },\n\
+          \  \"workload\": { \"requests\": %d },\n\
+          \  \"plan\": { \"mode\": \"%s\", \"rate\": %s, \"round\": %d, \"node_faults\": %d, \
+           \"edge_faults\": %d },\n\
+          \  \"sim\": { \"delivered\": %d, \"dropped\": %d, \"retransmits\": %d, \"reroutes\": \
+           %d, \"makespan\": %d, \"max_queue\": %d, \"avg_latency\": %s, \"congestion\": %d, \
+           \"dilation\": %d },\n\
+          \  \"repair\": { \"edges_added\": %d, \"connectivity_added\": %d, \"stretch_added\": \
+           %d, \"connected\": %b, \"dist_stretch\": %d, \"certified\": %b }\n\
+           }\n"
+          (Obs.json_escape dc.Dc.name) nn (Graph.m g) (Graph.m h) (Array.length routing)
+          (Obs.json_escape mode) (Obs.json_float rate) round (Fault_plan.node_faults plan)
+          (Fault_plan.edge_faults plan) s.Fault_sim.delivered s.Fault_sim.dropped
+          s.Fault_sim.retransmits s.Fault_sim.reroutes s.Fault_sim.makespan s.Fault_sim.max_queue
+          (Obs.json_float s.Fault_sim.avg_latency) s.Fault_sim.congestion s.Fault_sim.dilation
+          (List.length rep.Repair.added) rep.Repair.connectivity_added rep.Repair.stretch_added
+          rep.Repair.connected
+          (if rep.Repair.dist_stretch = max_int then -1 else rep.Repair.dist_stretch)
+          rep.Repair.certified;
+        close_out oc;
+        Printf.printf "report written to %s\n" path);
+    Ok ()
+  in
+  let term =
+    Term.term_result' ~usage:true
+      Term.(
+        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg
+        $ rate_arg $ mode_arg $ round_arg $ kill_arg $ requests_arg $ timeout_arg $ attempts_arg
+        $ json_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Inject faults into a spanner routing, simulate degraded-mode delivery, and self-heal \
+          the spanner.")
     term
 
 (* ---- distributed ---- *)
@@ -444,6 +600,7 @@ let () =
             check_cmd;
             route_cmd;
             verify_cmd;
+            faults_cmd;
             lowerbound_cmd;
             distributed_cmd;
           ]))

@@ -1,0 +1,81 @@
+(** Deterministic fault plans: which nodes and edges fail, and when.
+
+    The paper motivates DC-spanners against fault-tolerant spanners
+    (Figure 1, {!Vft_example}): VFT constructions survive deletions but blow
+    up congestion.  This module supplies the damage side of that comparison —
+    reproducible failure scenarios that {!Fault_sim} plays out against a
+    routing and {!Repair} heals a spanner from.
+
+    A plan is a schedule of fault events over simulation rounds (rounds are
+    1-based; round [r] faults strike {e before} any packet is forwarded in
+    round [r]).  Every randomized constructor draws from an explicit
+    {!Prng.t}, so a plan — and therefore an entire degraded-mode experiment —
+    is reproducible from its seed (the determinism contract of HACKING.md).
+    Faults are monotone: the network only degrades, nothing heals mid-run. *)
+
+type fault =
+  | Fail_node of int  (** the node loses every incident link *)
+  | Fail_edge of int * int  (** normalized [(u, v)] with [u < v] *)
+
+type t
+(** A fault plan over a graph on [n] nodes: per-round fault lists, sorted by
+    round, each round's faults sorted and deduplicated (canonical, so
+    structural equality means plan equality). *)
+
+val empty : int -> t
+(** The no-fault plan on [n] nodes. *)
+
+val schedule : n:int -> (int * fault list) list -> t
+(** Build a plan from explicit [(round, faults)] pairs.  Rounds must be
+    [>= 1]; node ids and edge endpoints must lie in [0 .. n-1]; self-loop
+    edges are rejected.  Duplicate rounds are merged, edges normalized,
+    duplicate faults dropped.  Raises [Invalid_argument] on violations. *)
+
+val uniform_nodes : ?round:int -> Prng.t -> Graph.t -> p:float -> t
+(** Every node fails independently with probability [p] at [round]
+    (default 1).  Nodes are scanned in index order, one PRNG draw each, so
+    the plan is a pure function of the seed. *)
+
+val uniform_edges : ?round:int -> Prng.t -> Graph.t -> p:float -> t
+(** Every edge fails independently with probability [p] at [round]
+    (default 1).  Edges are scanned in normalized sorted order. *)
+
+val adversarial_load : ?round:int -> n:int -> Routing.routing -> k:int -> t
+(** Kill the [k] most-loaded nodes of the routing (ties broken by smaller
+    id) — the adversary that aims at exactly the hot spots the congestion
+    stretch is supposed to keep cool.  Nodes with zero load are never
+    targeted, so fewer than [k] faults may result. *)
+
+val targeted_edges : ?round:int -> n:int -> (int * int) list -> t
+(** Kill exactly the given edges — e.g. the surviving matching edges of the
+    Figure 1 VFT spanner ({!Vft_example.kept}), the attack the paper's
+    congestion argument is about. *)
+
+val merge : t -> t -> t
+(** Union of two plans over the same node count. *)
+
+val events : t -> (int * fault list) list
+(** The canonical schedule: rounds ascending, faults sorted within a round. *)
+
+val n : t -> int
+(** Node count the plan applies to. *)
+
+val is_empty : t -> bool
+
+val last_round : t -> int
+(** Round of the final event ([0] for the empty plan). *)
+
+val node_faults : t -> int
+(** Total number of node-failure events. *)
+
+val edge_faults : t -> int
+(** Total number of edge-failure events. *)
+
+val failed_nodes : t -> bool array
+(** [failed_nodes plan] marks every node that fails at {e some} round. *)
+
+val survivor : Graph.t -> t -> Graph.t
+(** The graph after the whole plan has struck: a copy of [g] with every
+    failed node isolated and every failed edge removed.  This is the
+    survivor network that {!Repair} heals within and degraded routings must
+    live in. *)

@@ -1,0 +1,63 @@
+(** Fault-aware store-and-forward packet simulation (degraded-mode routing).
+
+    Extends {!Packet_sim}'s node-capacity-1 model (Section 1.1's wireless
+    setting — exactly the setting where nodes fail mid-routing) with a fault
+    plan played out against the routing:
+
+    - round [r] faults strike before any forwarding in round [r]; packets
+      queued at a node that dies are lost, and a transmission towards a dead
+      node or across a removed edge is lost (the sender burns its slot — it
+      only discovers the failure by timeout);
+    - a lost packet is retransmitted {e from its source} after a timeout
+      with capped exponential backoff (the [k]-th retransmission waits
+      [min(timeout * 2^(k-1), backoff_cap)] rounds);
+    - a retransmission reuses the original path if it is still intact, and is
+      otherwise rerouted around the failures via BFS in the survivor of
+      [network] (deterministic smallest-index-parent shortest path);
+    - a packet is permanently dropped when its source or destination is dead,
+      when no survivor path exists, or after [max_attempts]
+      retransmissions.
+
+    Scheduling is {!Packet_sim}'s: every alive node forwards its
+    furthest-to-go queued packet (ties by packet id) each round.  {b With an
+    empty fault plan the simulation is field-for-field identical to
+    [Packet_sim.run]} — the equivalence is asserted by the test suite — and
+    everything is deterministic: no PRNG is consumed, so a (routing, plan)
+    pair always reproduces the same stats.
+
+    Fault events scheduled after the last packet settles never strike;
+    [failed_nodes]/[failed_edges] count the faults actually applied. *)
+
+type stats = {
+  delivered : int;  (** packets that reached their destination *)
+  dropped : int;  (** packets permanently dropped *)
+  retransmits : int;  (** re-injections at the source after a loss *)
+  reroutes : int;  (** retransmissions that needed a BFS detour *)
+  makespan : int;  (** last delivery round ([0] if nothing was delivered) *)
+  max_queue : int;  (** largest queue length observed at any node *)
+  avg_latency : float;  (** mean delivery round over {e delivered} packets *)
+  congestion : int;  (** [C] of the original routing (as in {!Packet_sim}) *)
+  dilation : int;  (** [D] of the original routing *)
+  forward_load : int;  (** capacity-1 lower bound of the original routing *)
+  failed_nodes : int;  (** node faults applied during the run *)
+  failed_edges : int;  (** edge faults applied during the run *)
+}
+
+val run :
+  ?timeout:int ->
+  ?max_attempts:int ->
+  ?backoff_cap:int ->
+  n:int ->
+  network:Graph.t ->
+  plan:Fault_plan.t ->
+  Routing.routing ->
+  stats
+(** [run ~n ~network ~plan routing] simulates the routing on an [n]-node
+    network under the fault plan.  [network] is the graph the routing lives
+    in (the spanner): its survivor subgraph is what reroutes search.
+    Defaults: [timeout = 4], [max_attempts = 5], [backoff_cap = 64].
+    Raises [Invalid_argument] on an empty path or non-positive parameters. *)
+
+val base_stats : stats -> Packet_sim.stats
+(** Project onto {!Packet_sim.stats} — with an empty plan this equals
+    [Packet_sim.run ~n routing] exactly (the fault-rate-0 contract). *)

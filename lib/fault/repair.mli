@@ -1,0 +1,48 @@
+(** Self-healing spanner repair after faults.
+
+    When a fault plan strikes, both the graph and its spanner lose edges: the
+    damaged spanner [H'] may be disconnected inside the survivor graph [G']
+    and its 3-detours may be gone.  {!run} re-adds edges of [G'] to [H'] in
+    two deterministic phases and re-certifies the result:
+
+    + {b connectivity}: scan [G']'s edges in canonical sorted order and keep
+      every edge that merges two [H']-components (union–find), until [H']
+      has one component per [G']-component;
+    + {b stretch}: re-add every [G']-edge whose [H']-detour exceeds [alpha]
+      ({!Stretch.violations}) — after this pass the distance stretch is
+      [<= alpha] by construction, which {!Stretch.exact} re-certifies.
+
+    The report carries the repair cost (edges re-added per phase) and the
+    certification outcome; {!certify_dc} additionally runs the Definition 4
+    probabilistic DC check ({!Dc_check.estimate}) on the repaired spanner. *)
+
+type report = {
+  spanner : Graph.t;  (** the repaired spanner (the damaged input is not mutated) *)
+  added : Graph.edge list;  (** edges re-added, in the order they were added *)
+  connectivity_added : int;  (** edges added by the connectivity phase *)
+  stretch_added : int;  (** edges added by the stretch phase *)
+  connected : bool;
+      (** the repaired spanner has exactly one component per survivor-graph
+          component (the best connectivity the survivor topology allows) *)
+  dist_stretch : int;
+      (** [Stretch.exact] of the repaired spanner against the survivor graph;
+          [max_int] only if [connected] is false *)
+  certified : bool;  (** [connected] and [dist_stretch <= alpha] *)
+}
+
+val run : ?alpha:int -> Graph.t -> within:Graph.t -> report
+(** [run damaged ~within] heals spanner [damaged] inside the survivor graph
+    [within] ([alpha] defaults to the paper's headline distance stretch 3).
+    Deterministic: edges are scanned in sorted order, no randomness is
+    consumed.  Raises [Invalid_argument] if node counts differ or [damaged]
+    is not a subgraph of [within]. *)
+
+val certify_dc :
+  ?trials:int -> ?beta:float -> alpha:float -> report -> within:Graph.t -> Prng.t -> Dc_check.estimate
+(** Definition 4 on the repaired spanner: wrap it with the randomized
+    shortest-path matching router over the survivor graph and sample routing
+    problems through {!Dc_check.estimate}.  [beta] defaults to the Theorem 3
+    envelope [12 (1 + 2 sqrt Delta) log n] of the survivor graph.  Raises
+    [Invalid_argument] if [within] is disconnected — Definition 4 samples
+    whole-graph problems (permutations), which dead isolated nodes cannot
+    route; use {!run}'s [certified] verdict for that regime. *)

@@ -110,6 +110,18 @@ let min_degree g =
 
 let is_regular g = n g = 0 || max_degree g = min_degree g
 
+let isolate g v =
+  check_node g v;
+  let ns = neighbors g v in
+  List.iter (fun u -> ignore (remove_edge g v u)) ns;
+  List.length ns
+
+let survivor g ~alive =
+  if Array.length alive <> n g then invalid_arg "Graph.survivor: alive array size mismatch";
+  let h = create (n g) in
+  iter_edges g (fun u v -> if alive.(u) && alive.(v) then ignore (add_edge h u v));
+  h
+
 let common_neighbors g u v =
   check_node g u;
   check_node g v;

@@ -78,6 +78,16 @@ val min_degree : t -> int
 val is_regular : t -> bool
 (** Whether all nodes have equal degree. *)
 
+val isolate : t -> int -> int
+(** [isolate g v] removes every edge incident to [v] (the graph-side effect
+    of a node failure: the node set is fixed, a failed node just loses its
+    links).  Returns the number of edges removed. *)
+
+val survivor : t -> alive:bool array -> t
+(** [survivor g ~alive] is the subgraph on the same node set keeping exactly
+    the edges whose two endpoints are alive.  Raises [Invalid_argument] if
+    [alive] is not of length [n g]. *)
+
 val common_neighbors : t -> int -> int -> int list
 (** [common_neighbors g u v] lists nodes adjacent to both [u] and [v]; these
     are exactly the routers of 2-detours with base [{u, v}] (Section 4). *)

@@ -8,9 +8,8 @@ let write g path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel g oc)
 
-let fail line msg = failwith (Printf.sprintf "Graph_io: line %d: %s" line msg)
-
-let of_channel ic =
+let of_channel ?(file = "<channel>") ic =
+  let fail line msg = Io_error.raise_error ~file ~line msg in
   let g = ref None in
   let expected_m = ref 0 in
   let line_no = ref 0 in
@@ -46,14 +45,13 @@ let of_channel ic =
      done
    with End_of_file -> ());
   match !g with
-  | None -> failwith "Graph_io: empty input (missing header)"
+  | None -> fail 0 "empty input (missing header)"
   | Some graph ->
       if Graph.m graph <> !expected_m then
-        failwith
-          (Printf.sprintf "Graph_io: header declares %d edges but %d were read" !expected_m
-             (Graph.m graph));
+        fail !line_no
+          (Printf.sprintf "header declares %d edges but %d were read" !expected_m (Graph.m graph));
       graph
 
 let read path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ~file:path ic)

@@ -18,11 +18,12 @@ val write : Graph.t -> string -> unit
 (** [write g path] serializes [g] to [path] (overwrites). *)
 
 val read : string -> Graph.t
-(** [read path] parses a graph.  Raises [Failure] with a line-numbered
-    message on malformed input. *)
+(** [read path] parses a graph.  Raises {!Io_error.Parse_error} carrying the
+    path and 1-based line number on malformed input. *)
 
 val to_channel : Graph.t -> out_channel -> unit
 (** Serialize to an open channel (used by [write] and tests). *)
 
-val of_channel : in_channel -> Graph.t
-(** Parse from an open channel. *)
+val of_channel : ?file:string -> in_channel -> Graph.t
+(** Parse from an open channel.  [file] (default ["<channel>"]) is the name
+    reported in {!Io_error.Parse_error}. *)

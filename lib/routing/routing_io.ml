@@ -6,9 +6,8 @@ let write problem path =
       Printf.fprintf oc "p %d\n" (Array.length problem);
       Array.iter (fun { Routing.src; dst } -> Printf.fprintf oc "%d %d\n" src dst) problem)
 
-let fail line msg = failwith (Printf.sprintf "Routing_io: line %d: %s" line msg)
-
 let read ?n path =
+  let fail line msg = Io_error.raise_error ~file:path ~line msg in
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -50,11 +49,11 @@ let read ?n path =
          done
        with End_of_file -> ());
       match !expected with
-      | None -> failwith "Routing_io: empty input (missing header)"
+      | None -> fail 0 "empty input (missing header)"
       | Some k ->
           let problem = Array.of_list (List.rev !acc) in
           if Array.length problem <> k then
-            failwith
-              (Printf.sprintf "Routing_io: header declares %d requests but %d were read" k
+            fail !line_no
+              (Printf.sprintf "header declares %d requests but %d were read" k
                  (Array.length problem));
           problem)

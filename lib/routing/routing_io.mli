@@ -15,5 +15,6 @@ val write : Routing.problem -> string -> unit
 
 val read : ?n:int -> string -> Routing.problem
 (** Parse a problem.  When [n] is given, endpoints are validated against
-    [0 .. n-1].  Raises [Failure] with a line-numbered message on malformed
-    input (bad header, self-loop, arity, out-of-range endpoint). *)
+    [0 .. n-1].  Raises {!Io_error.Parse_error} carrying the path and 1-based
+    line number on malformed input (bad header, self-loop, arity,
+    out-of-range endpoint). *)

@@ -1,0 +1,10 @@
+exception Parse_error of { file : string; line : int; msg : string }
+
+let message ~file ~line msg = Printf.sprintf "%s: line %d: %s" file line msg
+
+let raise_error ~file ~line msg = raise (Parse_error { file; line; msg })
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { file; line; msg } -> Some ("Parse_error: " ^ message ~file ~line msg)
+    | _ -> None)

@@ -1,0 +1,18 @@
+(** Structured parse failures for the plain-text readers.
+
+    {!Graph_io} and {!Routing_io} raise {!Parse_error} instead of a bare
+    [Failure] so that callers (the CLI in particular) can distinguish
+    malformed input from programming errors and report the offending file and
+    line.  The CLI maps it to a proper Cmdliner runtime error (exit 123). *)
+
+exception Parse_error of { file : string; line : int; msg : string }
+(** [file] is the path being parsed (["<channel>"] when parsing from an
+    anonymous channel); [line] is 1-based ([0] when no line applies, e.g. an
+    empty file). *)
+
+val raise_error : file:string -> line:int -> string -> 'a
+(** Raise {!Parse_error} with the given context. *)
+
+val message : file:string -> line:int -> string -> string
+(** ["file: line N: msg"] — the rendering used by the CLI and the registered
+    [Printexc] printer. *)

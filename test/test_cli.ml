@@ -1,0 +1,84 @@
+(* End-to-end CLI tests: malformed input files must surface as runtime
+   errors (exit 123, the [Cmd.Exit.some_error] convention documented in
+   bin/dcs_cli.ml) rather than crashes, and the [faults] subcommand must
+   emit a well-formed JSON report. *)
+
+let check = Alcotest.check
+
+(* tests run from _build/default/test/; the binary sits next door *)
+let cli = Filename.concat Filename.parent_dir_name (Filename.concat "bin" "dcs_cli.exe")
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "dcs_cli_test" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let run_cli args = Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" cli args)
+
+let test_cli_exists () = check Alcotest.bool "binary built" true (Sys.file_exists cli)
+
+let test_malformed_graph_exits_123 () =
+  List.iter
+    (fun contents ->
+      with_temp_file contents (fun path ->
+          check Alcotest.int
+            (Printf.sprintf "graph --input on %S" contents)
+            123
+            (run_cli (Printf.sprintf "graph --input %s" path))))
+    [ "garbage\n"; ""; "n 4 2\n0 1\n"; "n 4 1\n0 9\n"; "n 4 1\nx y\n" ]
+
+let test_malformed_problem_exits_123 () =
+  with_temp_file "p 1\n0 99\n" (fun path ->
+      check Alcotest.int "route --problem out of range" 123
+        (run_cli (Printf.sprintf "route --family torus -n 25 --problem %s" path)))
+
+let test_wellformed_graph_exits_0 () =
+  with_temp_file "n 3 3\n0 1\n1 2\n2 0\n" (fun path ->
+      check Alcotest.int "triangle accepted" 0 (run_cli (Printf.sprintf "graph --input %s" path)))
+
+let test_faults_json_report () =
+  let json = Filename.temp_file "dcs_cli_faults" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove json)
+    (fun () ->
+      check Alcotest.int "faults runs" 0
+        (run_cli
+           (Printf.sprintf
+              "faults --family regular -n 60 -d 8 --fail-rate 0.05 --seed 7 --json %s" json));
+      let ic = open_in json in
+      let len = in_channel_length ic in
+      let body = really_input_string ic len in
+      close_in ic;
+      List.iter
+        (fun key ->
+          check Alcotest.bool (Printf.sprintf "report has %S" key) true
+            (let re = Printf.sprintf "\"%s\"" key in
+             let rec find i =
+               i + String.length re <= String.length body
+               && (String.sub body i (String.length re) = re || find (i + 1))
+             in
+             find 0))
+        [ "delivered"; "dropped"; "retransmits"; "reroutes"; "repair"; "certified"; "plan" ])
+
+let test_faults_bad_mode_exits_123 () =
+  check Alcotest.int "unknown fault mode" 123
+    (run_cli "faults --family torus -n 25 --fail-mode cosmic")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-codes",
+        [
+          Alcotest.test_case "binary exists" `Quick test_cli_exists;
+          Alcotest.test_case "malformed graph" `Quick test_malformed_graph_exits_123;
+          Alcotest.test_case "malformed problem" `Quick test_malformed_problem_exits_123;
+          Alcotest.test_case "wellformed graph" `Quick test_wellformed_graph_exits_0;
+          Alcotest.test_case "bad fault mode" `Quick test_faults_bad_mode_exits_123;
+        ] );
+      ("faults", [ Alcotest.test_case "json report" `Quick test_faults_json_report ]);
+    ]

@@ -357,7 +357,7 @@ let test_io_malformed () =
       (try
          ignore (parse_string s);
          false
-       with Failure _ -> true)
+       with Io_error.Parse_error _ -> true)
   in
   expect_fail "0 1\n";
   expect_fail "n 4 1\n0 4\n";

@@ -162,7 +162,7 @@ let test_routing_io_validation () =
       (try
          ignore (parse_problem_string ?n s);
          false
-       with Failure _ -> true)
+       with Io_error.Parse_error _ -> true)
   in
   expect_fail "0 1\n";
   expect_fail "p 2\n0 1\n";

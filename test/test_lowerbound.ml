@@ -262,6 +262,32 @@ let test_vft_congestion_blowup () =
   check Alcotest.int "optimum in G is 1" 1
     (Routing.congestion ~n (Array.map (fun { Routing.src; dst } -> [| src; dst |]) problem))
 
+let test_vft_congestion_lower_bound () =
+  (* the Figure 1 claim quantitatively: across sizes and seeds the kept-
+     matching routing is measured at Omega(n^{2/3}) node congestion, while
+     the same problem costs 1 in G.  The n^{2/3}/4 constant has slack: by
+     pigeonhole some kept endpoint carries >= 1 + (n/2 - kept)/kept paths *)
+  List.iter
+    (fun n ->
+      let t = Vft_example.make n in
+      let nn = Graph.n t.Vft_example.graph in
+      let bound = int_of_float (ceil (float_of_int n ** (2.0 /. 3.0) /. 4.0)) in
+      List.iter
+        (fun seed ->
+          let routing = Vft_example.route t (Prng.create seed) in
+          let c = Routing.congestion ~n:nn routing in
+          check Alcotest.bool
+            (Printf.sprintf "n=%d seed=%d: congestion %d >= n^(2/3)/4 = %d" n seed c bound)
+            true (c >= bound))
+        [ 1; 2; 3; 42 ];
+      let problem = Vft_example.matching_problem t in
+      check Alcotest.int
+        (Printf.sprintf "n=%d: matching costs 1 in G" n)
+        1
+        (Routing.congestion ~n:nn
+           (Array.map (fun { Routing.src; dst } -> [| src; dst |]) problem)))
+    [ 64; 128; 256; 512 ]
+
 (* ---- qcheck ---- *)
 
 let prop_ray_line_spanner_stretch =
@@ -327,6 +353,7 @@ let () =
         [
           Alcotest.test_case "structure" `Quick test_vft_structure;
           Alcotest.test_case "congestion blowup" `Quick test_vft_congestion_blowup;
+          Alcotest.test_case "omega n^(2/3) across sizes" `Quick test_vft_congestion_lower_bound;
         ] );
       ( "properties",
         q [ prop_ray_line_spanner_stretch; prop_design_valid; prop_lemma2_short_routing_congestion_n ]
