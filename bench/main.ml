@@ -3,8 +3,8 @@
    benches for the constructions.
 
    Usage:  dune exec bench/main.exe [-- block ...]
-   Blocks: table1 figures lemmas distributed ablations extensions fault timing obs
-   all (default all).
+   Blocks: table1 figures lemmas distributed ablations extensions fault timing
+   kernels obs; all (default all).
    Set DCS_BENCH_SCALE=quick for smaller sweeps (CI), =full for larger. *)
 
 let scale =
@@ -1345,6 +1345,101 @@ let run_obs () =
   Obs.set_tracing was_tracing
 
 (* ------------------------------------------------------------------ *)
+(* Kernel comparison: scalar / grouped / batched certification         *)
+(* ------------------------------------------------------------------ *)
+
+(* wall-clock ms for [f ()]: best of [reps] runs (first result returned) *)
+let time_best ~reps f =
+  let result = f () in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t = Obs.now_us () in
+    ignore (f ());
+    best := min !best ((Obs.now_us () -. t) /. 1e3)
+  done;
+  (result, !best)
+
+let run_kernels () =
+  Report.section "KERNEL COMPARISON (stretch certification)";
+  Printf.printf "claim: grouping removed edges by source and answering %d sources per\n"
+    Bfs_batch.width;
+  Printf.printf "bit-parallel sweep beats the per-edge scalar path by >= 5x at n=512,\n";
+  Printf.printf "with bit-identical certificates\n\n";
+  let ns = pick ~quick:[ 125; 216 ] ~standard:[ 216; 343; 512 ] ~full:[ 216; 343; 512; 729 ] in
+  let eps = 0.15 in
+  let constructions = [ ("theorem2", Dc_spanner.Theorem2); ("algorithm1", Dc_spanner.Algorithm1) ] in
+  let table =
+    Report.create
+      ~title:(Printf.sprintf "certification kernels (batch width %d)" Bfs_batch.width)
+      ~columns:
+        [
+          "construction"; "n"; "Delta"; "removed"; "sources"; "scalar ms"; "grouped ms";
+          "batched ms"; "x grouped"; "x batched"; "identical";
+        ]
+  in
+  let cases = ref [] in
+  List.iter
+    (fun (cname, alg) ->
+      List.iter
+        (fun n ->
+          let d = int_of_float (float_of_int n ** ((2.0 /. 3.0) +. eps)) in
+          let g = regular_expander (1000 + n) n d in
+          let rng = Prng.create (2000 + n) in
+          let dc = Dc_spanner.build alg rng g in
+          let h = dc.Dc.spanner in
+          let removed = Graph.m g - Graph.m h in
+          let sources =
+            let marked = Array.make (Graph.n g) false in
+            Graph.iter_edges g (fun u v -> if not (Graph.mem_edge h u v) then marked.(u) <- true);
+            Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 marked
+          in
+          let s_scalar, t_scalar = time_best ~reps:1 (fun () -> Stretch.exact_reference g h) in
+          let s_grouped, t_grouped = time_best ~reps:3 (fun () -> Stretch.exact_grouped g h) in
+          let s_batched, t_batched = time_best ~reps:3 (fun () -> Stretch.exact_parallel g h) in
+          let identical = s_scalar = s_grouped && s_grouped = s_batched in
+          let speedup t = t_scalar /. t in
+          Report.add_row table
+            [
+              cname;
+              string_of_int n;
+              string_of_int (Graph.max_degree g);
+              string_of_int removed;
+              string_of_int sources;
+              Printf.sprintf "%.2f" t_scalar;
+              Printf.sprintf "%.2f" t_grouped;
+              Printf.sprintf "%.2f" t_batched;
+              Printf.sprintf "%.1fx" (speedup t_grouped);
+              Printf.sprintf "%.1fx" (speedup t_batched);
+              (if identical then "yes" else "** NO **");
+            ];
+          cases :=
+            Printf.sprintf
+              "{\"construction\":\"%s\",\"n\":%d,\"delta\":%d,\"removed\":%d,\"sources\":%d,\"scalar_ms\":%s,\"grouped_ms\":%s,\"batched_ms\":%s,\"speedup_grouped\":%s,\"speedup_batched\":%s,\"identical\":%b}"
+              (Obs.json_escape cname) n (Graph.max_degree g) removed sources
+              (Obs.json_float t_scalar) (Obs.json_float t_grouped) (Obs.json_float t_batched)
+              (Obs.json_float (speedup t_grouped))
+              (Obs.json_float (speedup t_batched))
+              identical
+            :: !cases)
+        ns)
+    constructions;
+  Report.add_note table "scalar = per-removed-edge bounded BFS (pre-kernel path, 1 rep);";
+  Report.add_note table
+    (Printf.sprintf "grouped = one sweep per source; batched = %d sources/sweep + domains."
+       Bfs_batch.width);
+  Report.print table;
+  let path =
+    match Sys.getenv_opt "DCS_BENCH_KERNELS" with Some p -> p | None -> "BENCH_kernels.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\"bench\":\"kernels\",\"scale\":\"%s\",\"batch_width\":%d,\"cases\":[%s]}\n"
+    (match scale with `Quick -> "quick" | `Standard -> "standard" | `Full -> "full")
+    Bfs_batch.width
+    (String.concat "," (List.rev !cases));
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let all_blocks =
   [
@@ -1356,6 +1451,7 @@ let all_blocks =
     "extensions";
     "fault";
     "timing";
+    "kernels";
     "obs";
   ]
 
@@ -1404,11 +1500,12 @@ let () =
           | "extensions" -> run_extensions ()
           | "fault" -> run_fault ()
           | "timing" -> run_timing ()
+          | "kernels" -> run_kernels ()
           | "obs" -> run_obs ()
           | other ->
               Printf.printf
                 "unknown block %S (use \
-                 table1|figures|lemmas|distributed|ablations|extensions|fault|timing|obs)\n"
+                 table1|figures|lemmas|distributed|ablations|extensions|fault|timing|kernels|obs)\n"
                 other))
     blocks;
   if !Obs.tracing then print_trace_breakdown ()

@@ -133,7 +133,9 @@ let graph_cmd =
       (Connectivity.count g);
     Printf.printf "lambda:      %.3f (expansion ratio %.3f)\n" (Spectral.lambda c)
       (Spectral.expansion_ratio c);
-    Printf.printf "diameter:    >= %d (sampled)\n" (Bfs.diameter_sampled c rng ~samples:20);
+    (match Bfs.diameter_sampled c rng ~samples:20 with
+    | d when d = max_int -> Printf.printf "diameter:    inf (disconnected)\n"
+    | d -> Printf.printf "diameter:    >= %d (sampled)\n" d);
     Ok ()
   in
   let term =
@@ -286,6 +288,11 @@ let check_cmd =
       e.Dc_check.rate;
     Printf.printf "worst distance stretch observed:   %.2f\n" e.Dc_check.worst_dist;
     Printf.printf "worst congestion stretch observed: %.2f\n" e.Dc_check.worst_cong;
+    (if e.Dc_check.cert_dist = max_int then
+       Printf.printf "exact distance certificate:        disconnected\n"
+     else
+       Printf.printf "exact distance certificate:        %d (all removed edges)\n"
+         e.Dc_check.cert_dist);
     Ok ()
   in
   let term =

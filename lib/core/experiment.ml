@@ -13,12 +13,14 @@ type row = {
 let evaluate ?(trials = 5) ?(with_general = true) ?(with_lambda = true) rng (dc : Dc.t) =
   let g = dc.Dc.graph and h = dc.Dc.spanner in
   let n = Graph.n g in
+  (* one CSR snapshot per graph for the whole evaluation: spectral, exact
+     stretch and baseline routing all read the same immutable views *)
+  let gc = Csr.of_graph g and hc = Csr.of_graph h in
   let lambda, lambda_spanner =
     Trace.with_span ~name:"experiment.spectral" (fun () ->
-        if with_lambda then (Spectral.lambda (Csr.of_graph g), Spectral.lambda (Csr.of_graph h))
-        else (0.0, 0.0))
+        if with_lambda then (Spectral.lambda gc, Spectral.lambda hc) else (0.0, 0.0))
   in
-  let dist_stretch = Stretch.exact_parallel g h in
+  let dist_stretch = Stretch.exact_parallel ~snapshot:hc g h in
   let matching =
     Trace.with_span ~name:"experiment.matching" (fun () -> Dc.measure_matching dc rng ~trials)
   in
@@ -26,7 +28,7 @@ let evaluate ?(trials = 5) ?(with_general = true) ?(with_lambda = true) rng (dc 
     if with_general then
       Trace.with_span ~name:"experiment.general" (fun () ->
           let problem = Problems.permutation rng g in
-          let base_routing = Sp_routing.route_random (Csr.of_graph g) rng problem in
+          let base_routing = Sp_routing.route_random gc rng problem in
           Some (Dc.measure_general dc rng base_routing))
     else None
   in

@@ -3,7 +3,16 @@
     All distance-stretch measurements in the paper reduce to BFS: the
     3-distance certificate checks [d_H(u,v) ≤ 3] for removed edges, and the
     exact stretch of a spanner compares single-source distances in [G] and
-    [H].  Distances are hop counts ([-1] encodes "unreachable"). *)
+    [H].  Distances are hop counts ([-1] encodes "unreachable").
+
+    {b Scratch arenas.}  Scalar traversals draw their work arrays from a
+    per-domain arena ({!Domain.DLS}), so the point-to-point queries on the
+    certification hot path ({!distance}, {!distance_bounded}) allocate
+    nothing at all and {!distances} allocates only the result row it
+    returns.  Arena hits are counted in the [bfs.scratch_reuses] metric.
+    Multi-source sweeps ({!all_distances}, {!diameter_sampled}) route
+    through the bit-parallel {!Bfs_batch} kernel — up to 63 sources per
+    sweep — with outputs bit-identical to repeated scalar BFS. *)
 
 val distances : Csr.t -> int -> int array
 (** [distances g s] is the array of hop distances from [s]; [-1] where
@@ -14,11 +23,13 @@ val distances_bounded : Csr.t -> int -> bound:int -> int array
     than [bound] report [-1].  Used for cheap [d ≤ 3] certificates. *)
 
 val distance : Csr.t -> int -> int -> int
-(** [distance g u v] is the hop distance, [-1] if disconnected. *)
+(** [distance g u v] is the hop distance, [-1] if disconnected.
+    Allocation-free (per-domain scratch arena). *)
 
 val distance_bounded : Csr.t -> int -> int -> bound:int -> int
 (** [distance_bounded g u v ~bound] is the hop distance if it is [≤ bound],
-    otherwise [-1].  Early-exits as soon as [v] is settled. *)
+    otherwise [-1].  Early-exits as soon as [v] is discovered.
+    Allocation-free (per-domain scratch arena). *)
 
 val shortest_path : Csr.t -> int -> int -> int array option
 (** [shortest_path g u v] is a node sequence [u ... v] realizing the hop
@@ -32,16 +43,20 @@ val random_shortest_path : Csr.t -> Prng.t -> int -> int -> int array option
     random choice spreads congestion across the shortest-path DAG. *)
 
 val eccentricity : Csr.t -> int -> int
-(** Largest finite distance from the node (ignores unreachable nodes). *)
+(** Largest distance from the node; [max_int] when some node is unreachable
+    (disconnected graphs signal instead of being silently ignored). *)
 
 val diameter_sampled : Csr.t -> Prng.t -> samples:int -> int
 (** Lower bound on the diameter from BFS at [samples] random sources
-    (exact when [samples >= n]). *)
+    (exact when [samples >= n]); [max_int] when a sampled source cannot
+    reach the whole graph, i.e. the graph is disconnected.  Sweeps run
+    through the batched kernel. *)
 
 val all_distances : Csr.t -> int array array
-(** All-pairs hop distances by repeated BFS; O(n·m).  Only for small graphs
-    (tests and exact stretch on modest instances). *)
+(** All-pairs hop distances via {!Bfs_batch} (63 sources per sweep);
+    bit-identical to per-source {!distances}.  O(n·m / word-width) on
+    low-diameter graphs; for tests and exact stretch on modest instances. *)
 
 val all_distances_parallel : ?domains:int -> Csr.t -> int array array
-(** {!all_distances} with the per-source BFS sweeps fanned out over OCaml 5
-    domains; identical output. *)
+(** {!all_distances} with the batched sweeps fanned out over OCaml 5
+    domains (one batch of 63 sources per work unit); identical output. *)

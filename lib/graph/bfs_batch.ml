@@ -1,0 +1,123 @@
+let width = Sys.int_size (* 63 usable bits per native word on 64-bit *)
+
+let m_sweeps = Metrics.counter "bfs_batch.sweeps"
+let m_words = Metrics.counter "bfs_batch.words"
+let m_reuses = Metrics.counter "bfs.scratch_reuses"
+
+(* shared with the scalar kernel: one (source, node) discovery = one visit,
+   so dashboards see total BFS work regardless of which kernel ran it *)
+let m_visited = Metrics.counter "bfs.nodes_visited"
+
+(* Per-domain word arenas: [seen]/[frontier]/[next] hold one source-bitmask
+   per node.  Domains spawned by [Parallel] each get their own arena, so
+   concurrent sweeps never share state. *)
+type scratch = {
+  mutable seen : int array;
+  mutable frontier : int array;
+  mutable next : int array;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { seen = [||]; frontier = [||]; next = [||] })
+
+let scratch n =
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.seen < n then begin
+    s.seen <- Array.make n 0;
+    s.frontier <- Array.make n 0;
+    s.next <- Array.make n 0
+  end
+  else begin
+    Metrics.incr m_reuses;
+    Array.fill s.seen 0 n 0;
+    Array.fill s.frontier 0 n 0;
+    Array.fill s.next 0 n 0
+  end;
+  s
+
+(* Index of the single set bit of [b] (bits 0..62; [b] may be the sign bit,
+   so only logical shifts below). *)
+let bit_index b =
+  let i = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin i := !i + 32; b := !b lsr 32 end;
+  if !b land 0xFFFF = 0 then begin i := !i + 16; b := !b lsr 16 end;
+  if !b land 0xFF = 0 then begin i := !i + 8; b := !b lsr 8 end;
+  if !b land 0xF = 0 then begin i := !i + 4; b := !b lsr 4 end;
+  if !b land 0x3 = 0 then begin i := !i + 2; b := !b lsr 2 end;
+  if !b land 0x1 = 0 then incr i;
+  !i
+
+let run ?(bound = max_int) (g : Csr.t) sources =
+  let k = Array.length sources in
+  if k = 0 then [||]
+  else begin
+    if k > width then
+      invalid_arg
+        (Printf.sprintf "Bfs_batch.run: %d sources exceed the word width %d" k width);
+    let n = g.Csr.n in
+    let s = scratch n in
+    let seen = s.seen and frontier = s.frontier and next = s.next in
+    let xadj = g.Csr.xadj and adjncy = g.Csr.adjncy in
+    let dist = Array.init k (fun _ -> Array.make n (-1)) in
+    for j = 0 to k - 1 do
+      let src = sources.(j) in
+      if src < 0 || src >= n then invalid_arg "Bfs_batch.run: source out of range";
+      seen.(src) <- seen.(src) lor (1 lsl j);
+      frontier.(src) <- frontier.(src) lor (1 lsl j);
+      dist.(j).(src) <- 0
+    done;
+    let words = ref 0 in
+    let visited = ref k in
+    let level = ref 0 in
+    let active = ref true in
+    while !active && !level < bound do
+      incr level;
+      (* scatter: OR each frontier node's source mask into its neighbors *)
+      for v = 0 to n - 1 do
+        let fv = frontier.(v) in
+        if fv <> 0 then begin
+          let stop = xadj.(v + 1) in
+          for i = xadj.(v) to stop - 1 do
+            let u = adjncy.(i) in
+            next.(u) <- next.(u) lor fv
+          done;
+          words := !words + (stop - xadj.(v))
+        end
+      done;
+      (* gather: freshly-reached bits settle at this level and form the next
+         frontier *)
+      active := false;
+      for u = 0 to n - 1 do
+        let fresh = next.(u) land lnot seen.(u) in
+        next.(u) <- 0;
+        frontier.(u) <- fresh;
+        if fresh <> 0 then begin
+          active := true;
+          seen.(u) <- seen.(u) lor fresh;
+          let b = ref fresh in
+          while !b <> 0 do
+            let low = !b land - !b in
+            (dist.(bit_index low)).(u) <- !level;
+            incr visited;
+            b := !b lxor low
+          done
+        end
+      done;
+      words := !words + (2 * n)
+    done;
+    if !Obs.metrics then begin
+      Metrics.incr m_sweeps;
+      Metrics.add m_words !words;
+      Metrics.add m_visited !visited
+    end;
+    dist
+  end
+
+let batches n =
+  if n <= 0 then [||]
+  else begin
+    let nb = ((n - 1) / width) + 1 in
+    Array.init nb (fun b ->
+        let lo = b * width in
+        Array.init (min width (n - lo)) (fun i -> lo + i))
+  end

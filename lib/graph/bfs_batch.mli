@@ -1,0 +1,40 @@
+(** Bit-parallel batched BFS: up to {!width} sources per sweep.
+
+    The certification hot loops (stretch certificates, [Dc_check],
+    all-pairs distances) run thousands of independent BFS traversals over
+    the same read-only {!Csr.t} snapshot.  This kernel amortizes them: each
+    node carries one machine word whose bit [j] means "source [j] has
+    reached this node", so one level expansion serves every source in the
+    batch with a single OR-scatter over the adjacency — the same 63-bits-
+    per-word trick as {!Bitmat}.  A level costs [O(m + n)] word operations
+    regardless of how many of the (up to 63) sources are active.
+
+    Results are bit-identical to per-source {!Bfs.distances} /
+    {!Bfs.distances_bounded}: BFS levels are hop distances and the kernel
+    is deterministic, so row [j] of the output equals the scalar distance
+    array of source [j] exactly (property-tested in [test_kernels]).
+
+    Frontier/seen word arrays live in a per-domain scratch arena
+    ({!Domain.DLS}), so repeated sweeps — e.g. one per batch of removed
+    edges inside [Stretch.exact_parallel] — do not allocate them again.
+    Observability: counters [bfs_batch.sweeps] (kernel invocations),
+    [bfs_batch.words] (frontier/scatter word operations, batched into one
+    add per sweep) and [bfs.scratch_reuses] (arena hits). *)
+
+val width : int
+(** Number of sources a single sweep can carry: the native word width,
+    63 on 64-bit OCaml. *)
+
+val run : ?bound:int -> Csr.t -> int array -> int array array
+(** [run g sources] is the batched BFS from every source at once: row [j]
+    is the hop-distance array from [sources.(j)] ([-1] where unreachable),
+    exactly [Bfs.distances g sources.(j)].  With [~bound], expansion stops
+    after [bound] levels and farther nodes report [-1], exactly
+    [Bfs.distances_bounded].  Duplicate sources are allowed (their rows are
+    equal).  Raises [Invalid_argument] if [Array.length sources > width]
+    or a source is out of range. *)
+
+val batches : int -> int array array
+(** [batches n] splits the source range [0 .. n-1] into consecutive
+    {!width}-sized slices — the canonical work units for feeding a full
+    graph through {!run}, e.g. under [Parallel.map_range]. *)

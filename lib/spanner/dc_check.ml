@@ -33,6 +33,7 @@ type estimate = {
   rate : float;
   worst_dist : float;
   worst_cong : float;
+  cert_dist : int;
 }
 
 let estimate ?(trials = 20) ~alpha ~beta (dc : Dc.t) rng =
@@ -71,10 +72,14 @@ let estimate ?(trials = 20) ~alpha ~beta (dc : Dc.t) rng =
     worst_dist := max !worst_dist verdict.dist_stretch;
     worst_cong := max !worst_cong verdict.cong_stretch
   done;
+  (* exact (non-sampled) distance certificate, via the batched kernel: the
+     routing trials above only witness stretch on the sampled workloads *)
+  let cert_dist = Stretch.exact_parallel dc.Dc.graph dc.Dc.spanner in
   {
     trials;
     successes = !successes;
     rate = float_of_int !successes /. float_of_int (max 1 trials);
     worst_dist = !worst_dist;
     worst_cong = !worst_cong;
+    cert_dist;
   }

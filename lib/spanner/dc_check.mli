@@ -38,6 +38,11 @@ type estimate = {
   rate : float;  (** empirical [ρ] of Definition 4 *)
   worst_dist : float;
   worst_cong : float;
+  cert_dist : int;
+      (** exact distance stretch over {e all} removed edges
+          ({!Stretch.exact_parallel}, batched kernel) — an unconditional
+          certificate alongside the sampled routing trials; [max_int] if the
+          spanner disconnects some edge *)
 }
 
 val estimate :

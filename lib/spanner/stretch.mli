@@ -4,31 +4,58 @@
     on an edge of [G]: replacing every edge of a shortest path by its spanner
     detour multiplies the length by at most the worst edge detour, and edges
     are themselves pairs at distance 1.  So the exact distance stretch equals
-    [max_{(u,v) ∈ E(G)} d_H(u, v)], which is what {!exact} computes. *)
+    [max_{(u,v) ∈ E(G)} d_H(u, v)], which is what {!exact} computes.
 
-val exact : Graph.t -> Graph.t -> int
+    {b Kernel.}  Removed edges are grouped by their smaller endpoint and each
+    group is answered from one bounded sweep; up to {!Bfs_batch.width} of
+    those sweeps run bit-parallel in a single {!Bfs_batch} pass.  On the
+    paper's regular constructions this is a [Δ × word]-factor fewer
+    traversals than the per-edge path ({!exact_reference}), with
+    bit-identical certificates — enforced by the property tests. *)
+
+val exact : ?snapshot:Csr.t -> Graph.t -> Graph.t -> int
 (** [exact g h] is the exact distance stretch of spanner [h]: the maximum
     over edges [(u,v)] of [G] of [d_H(u,v)].  Returns [max_int] if some edge
-    is disconnected in [h].  O(removed-edges × BFS). *)
+    is disconnected in [h], stopping at the first such batch.  [snapshot],
+    when given, must be [Csr.of_graph h] (lets callers reuse one snapshot
+    across measurements). *)
 
-val exact_parallel : ?domains:int -> ?bound:int -> Graph.t -> Graph.t -> int
-(** {!exact} fanned out over OCaml 5 domains (one bounded BFS per removed
-    edge, read-only snapshots).  Identical result to the sequential version;
-    used by the harness at full scale.  [bound] as in {!exact_bounded}. *)
+val exact_parallel :
+  ?domains:int -> ?bound:int -> ?snapshot:Csr.t -> Graph.t -> Graph.t -> int
+(** {!exact} fanned out over OCaml 5 domains — one batched sweep
+    ({!Bfs_batch.width} source groups) per work unit, read-only snapshots.
+    Identical result to the sequential version; used by the harness at full
+    scale.  A disconnected removed edge saturates the running max, letting
+    every domain stop early.  [bound] as in {!exact_bounded}. *)
 
-val exact_bounded : Graph.t -> Graph.t -> bound:int -> int
-(** Like {!exact} but BFS stops at depth [bound]; any edge whose spanner
+val exact_bounded : ?snapshot:Csr.t -> Graph.t -> Graph.t -> bound:int -> int
+(** Like {!exact} but sweeps stop at depth [bound]; any edge whose spanner
     distance exceeds [bound] makes the result [max_int].  Much faster when
     the expected stretch is a small constant (the stretch-3 certificate). *)
+
+val exact_reference : ?bound:int -> Graph.t -> Graph.t -> int
+(** The pre-kernel implementation: one scalar bounded BFS per removed edge.
+    Kept as the oracle for the property tests and as the baseline of the
+    kernel-comparison bench ([bench kernels]).  Same contract as
+    {!exact_bounded} (default [bound] = [max_int], i.e. {!exact}). *)
+
+val exact_grouped : ?bound:int -> Graph.t -> Graph.t -> int
+(** Half-way point between {!exact_reference} and the batched kernel: one
+    scalar sweep per removed-edge {e source group} (no bit-parallelism).
+    Isolates the grouping win from the batching win in [bench kernels]. *)
 
 val is_three_spanner : Graph.t -> Graph.t -> bool
 (** [is_three_spanner g h] checks the paper's headline guarantee:
     every removed edge has a spanner detour of length ≤ 3. *)
 
-val sampled_pairs : Prng.t -> Graph.t -> Graph.t -> samples:int -> float
+val sampled_pairs :
+  ?snapshots:Csr.t * Csr.t -> Prng.t -> Graph.t -> Graph.t -> samples:int -> float
 (** Monte-Carlo pairwise stretch: max over [samples] random connected node
-    pairs of [d_H / d_G]; a sanity cross-check of {!exact} at scale. *)
+    pairs of [d_H / d_G]; a sanity cross-check of {!exact} at scale.
+    [snapshots], when given, must be [(Csr.of_graph g, Csr.of_graph h)].
+    The random draws are identical with or without [snapshots]. *)
 
 val violations : Graph.t -> Graph.t -> bound:int -> (int * int) list
 (** Removed edges whose spanner distance exceeds [bound] — the counter-
-    examples reported when a stretch certificate fails. *)
+    examples reported when a stretch certificate fails.  Sorted ascending
+    (lexicographic on [(u, v)], [u < v]). *)

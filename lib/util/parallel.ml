@@ -60,6 +60,49 @@ let map_range ?domains n f =
         Array.concat parts
   end
 
+let max_range_saturating ?domains n f ~saturate =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  if n <= 0 then min_int
+  else if domains <= 1 || n < 2 * domains then begin
+    let best = ref min_int in
+    let i = ref 0 in
+    while !best < saturate && !i < n do
+      best := max !best (f !i);
+      incr i
+    done;
+    !best
+  end
+  else begin
+    (* A shared flag lets every chunk stop scheduling work once some value
+       reached [saturate]; the max over the evaluated prefix is returned, so
+       the result equals the full max whenever [saturate] is the largest
+       value [f] can take (the [max_int]-on-disconnection case). *)
+    let stop = Atomic.make false in
+    let chunk_max (start, len) =
+      let best = ref min_int in
+      let i = ref start in
+      while (not (Atomic.get stop)) && !i < start + len do
+        let v = f !i in
+        if v > !best then best := v;
+        if v >= saturate then Atomic.set stop true;
+        incr i
+      done;
+      !best
+    in
+    match chunks n domains with
+    | [] -> min_int
+    | head :: rest ->
+        let handles =
+          List.map
+            (fun c ->
+              Metrics.incr m_spawns;
+              Domain.spawn (fun () -> observed_chunk (fun () -> chunk_max c)))
+            rest
+        in
+        let acc = observed_chunk (fun () -> chunk_max head) in
+        List.fold_left (fun acc h -> max acc (Domain.join h)) acc handles
+  end
+
 let max_range ?domains n f =
   let domains = match domains with Some d -> d | None -> default_domains () in
   if n <= 0 then min_int

@@ -22,3 +22,13 @@ val map_range : ?domains:int -> int -> (int -> 'a) -> 'a array
 val max_range : ?domains:int -> int -> (int -> int) -> int
 (** [max_range n f] is [max_{0 ≤ i < n} f i] ([min_int] when [n = 0]),
     without materializing the intermediate array. *)
+
+val max_range_saturating : ?domains:int -> int -> (int -> int) -> saturate:int -> int
+(** Like {!max_range}, but once some [f i] reaches [saturate] the remaining
+    indices may be skipped (a shared flag short-circuits every domain's
+    chunk loop).  The result then is the max over the evaluated prefix,
+    which is [≥ saturate] — identical to {!max_range} whenever [saturate]
+    is the largest value [f] can produce.  The stretch certificates use
+    this with [saturate = max_int]: one disconnected removed edge decides
+    the answer, so the remaining sweeps are pure waste.  Requires
+    [saturate > min_int]. *)

@@ -1,0 +1,236 @@
+(* Bit-parallel kernel tests: the batched BFS (Bfs_batch) and everything
+   rebuilt on top of it (Stretch certification, all-pairs distances,
+   eccentricity/diameter signalling) must be bit-identical to the scalar
+   reference paths, on connected and disconnected graphs alike. *)
+
+let check = Alcotest.check
+
+(* random graph that is disconnected reasonably often: sparse ER *)
+let random_graph seed n p = Generators.erdos_renyi (Prng.create seed) n p
+
+(* random subgraph on the same node set: keep each edge with probability
+   [keep] — the generic "spanner pair" for certification properties *)
+let random_subgraph seed keep g =
+  let rng = Prng.create seed in
+  let h = Graph.create (Graph.n g) in
+  Graph.iter_edges g (fun u v -> if Prng.bool rng keep then ignore (Graph.add_edge h u v));
+  h
+
+(* ---- Bfs_batch vs scalar BFS ---- *)
+
+let test_batch_empty_and_invalid () =
+  let g = Csr.of_graph (Generators.cycle 5) in
+  check Alcotest.int "no sources, no rows" 0 (Array.length (Bfs_batch.run g [||]));
+  let too_many = Array.make (Bfs_batch.width + 1) 0 in
+  let expects_invalid name f =
+    check Alcotest.bool name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  expects_invalid "width overflow" (fun () -> Bfs_batch.run g too_many);
+  expects_invalid "source range" (fun () -> Bfs_batch.run g [| 5 |]);
+  expects_invalid "negative source" (fun () -> Bfs_batch.run g [| -1 |])
+
+let test_batch_duplicates () =
+  let g = Csr.of_graph (Generators.torus 4 4) in
+  let rows = Bfs_batch.run g [| 3; 3; 3 |] in
+  let d = Bfs.distances g 3 in
+  Array.iter (fun row -> check Alcotest.(array int) "duplicated source rows" d row) rows
+
+let test_batches_cover () =
+  check Alcotest.int "empty" 0 (Array.length (Bfs_batch.batches 0));
+  List.iter
+    (fun n ->
+      let bs = Bfs_batch.batches n in
+      let seen = Array.concat (Array.to_list bs) in
+      check Alcotest.bool "consecutive cover" true (seen = Array.init n (fun i -> i));
+      Array.iter
+        (fun b -> check Alcotest.bool "batch size" true (Array.length b <= Bfs_batch.width))
+        bs)
+    [ 1; Bfs_batch.width; Bfs_batch.width + 1; 200 ]
+
+let prop_batch_matches_scalar =
+  QCheck.Test.make ~name:"batched BFS rows = scalar distances" ~count:60
+    QCheck.(triple small_int (int_range 2 60) (int_range 0 100))
+    (fun (seed, n, pct) ->
+      (* pct sweeps from almost surely disconnected to dense *)
+      let g = Csr.of_graph (random_graph seed n (float_of_int pct /. 100.0 *. 0.2)) in
+      let k = 1 + (seed mod min n Bfs_batch.width) in
+      let sources = Array.init k (fun i -> (seed + (i * 7)) mod n) in
+      let rows = Bfs_batch.run g sources in
+      Array.for_all2 (fun row s -> row = Bfs.distances g s) rows sources)
+
+let prop_batch_bounded_matches_scalar =
+  QCheck.Test.make ~name:"bounded batched BFS = scalar bounded distances" ~count:60
+    QCheck.(triple small_int (int_range 2 60) (int_range 0 5))
+    (fun (seed, n, bound) ->
+      let g = Csr.of_graph (random_graph seed n 0.08) in
+      let k = 1 + (seed mod min n Bfs_batch.width) in
+      let sources = Array.init k (fun i -> (seed + (i * 3)) mod n) in
+      let rows = Bfs_batch.run ~bound g sources in
+      Array.for_all2 (fun row s -> row = Bfs.distances_bounded g s ~bound) rows sources)
+
+let prop_all_distances_matches_scalar =
+  QCheck.Test.make ~name:"all_distances(_parallel) = per-source scalar BFS" ~count:30
+    QCheck.(pair small_int (int_range 1 80))
+    (fun (seed, n) ->
+      let g = Csr.of_graph (random_graph seed n 0.1) in
+      let want = Array.init n (Bfs.distances g) in
+      Bfs.all_distances g = want && Bfs.all_distances_parallel ~domains:3 g = want)
+
+(* ---- Stretch certification vs the per-edge reference ---- *)
+
+let prop_exact_matches_reference =
+  QCheck.Test.make ~name:"grouped+batched Stretch.exact = per-edge reference" ~count:50
+    QCheck.(triple small_int (int_range 2 50) (int_range 0 100))
+    (fun (seed, n, keep_pct) ->
+      let g = random_graph (seed + 1) n 0.15 in
+      let h = random_subgraph (seed + 2) (float_of_int keep_pct /. 100.0) g in
+      let want = Stretch.exact_reference g h in
+      Stretch.exact g h = want
+      && Stretch.exact_parallel ~domains:4 g h = want
+      && Stretch.exact ~snapshot:(Csr.of_graph h) g h = want)
+
+let prop_exact_bounded_matches_reference =
+  QCheck.Test.make ~name:"bounded certification = bounded reference" ~count:50
+    QCheck.(triple small_int (int_range 2 50) (int_range 0 6))
+    (fun (seed, n, bound) ->
+      let bound = max 1 bound in
+      let g = random_graph (seed + 1) n 0.15 in
+      let h = random_subgraph (seed + 5) 0.6 g in
+      let want = Stretch.exact_reference ~bound g h in
+      Stretch.exact_bounded g h ~bound = want
+      && Stretch.exact_grouped ~bound g h = want
+      && Stretch.exact_parallel ~domains:3 ~bound g h = want)
+
+let prop_violations_consistent =
+  QCheck.Test.make ~name:"violations = removed edges beyond the bound, sorted" ~count:40
+    QCheck.(pair small_int (int_range 2 40))
+    (fun (seed, n) ->
+      let g = random_graph (seed + 1) n 0.2 in
+      let h = random_subgraph (seed + 9) 0.5 g in
+      let bound = 3 in
+      let hc = Csr.of_graph h in
+      let want = ref [] in
+      Graph.iter_edges g (fun u v ->
+          if not (Graph.mem_edge h u v) then begin
+            let d = Bfs.distance hc u v in
+            if d < 0 || d > bound then want := (u, v) :: !want
+          end);
+      Stretch.violations g h ~bound = List.sort compare !want)
+
+let test_stretch_spanner_pair () =
+  (* a real construction: certificates identical across all three kernels *)
+  let g = Generators.random_regular (Prng.create 5) 80 16 in
+  let h = Classic.greedy g ~k:2 in
+  let want = Stretch.exact_reference g h in
+  check Alcotest.int "exact" want (Stretch.exact g h);
+  check Alcotest.int "grouped" want (Stretch.exact_grouped g h);
+  check Alcotest.int "parallel" want (Stretch.exact_parallel ~domains:4 g h)
+
+let test_exact_disconnected_early_exit () =
+  let g = Generators.cycle 12 in
+  let h = Graph.create 12 in
+  check Alcotest.int "exact = max_int" max_int (Stretch.exact g h);
+  check Alcotest.int "parallel = max_int" max_int (Stretch.exact_parallel ~domains:4 g h);
+  check Alcotest.int "reference = max_int" max_int (Stretch.exact_reference g h)
+
+let prop_sampled_pairs_snapshot_invariant =
+  QCheck.Test.make ~name:"sampled_pairs draws are snapshot-invariant" ~count:20
+    QCheck.(pair small_int (int_range 2 40))
+    (fun (seed, n) ->
+      let g = random_graph (seed + 1) n 0.2 in
+      let h = random_subgraph (seed + 3) 0.7 g in
+      let a = Stretch.sampled_pairs (Prng.create seed) g h ~samples:50 in
+      let b =
+        Stretch.sampled_pairs
+          ~snapshots:(Csr.of_graph g, Csr.of_graph h)
+          (Prng.create seed) g h ~samples:50
+      in
+      a = b)
+
+(* ---- disconnection signalling ---- *)
+
+let test_eccentricity_signals () =
+  let c = Csr.of_graph (Generators.path 6) in
+  check Alcotest.int "path end" 5 (Bfs.eccentricity c 0);
+  let g = Generators.path 6 in
+  ignore (Graph.isolate g 5);
+  let c = Csr.of_graph g in
+  check Alcotest.int "disconnected = max_int" max_int (Bfs.eccentricity c 0)
+
+let test_diameter_signals () =
+  let c = Csr.of_graph (Generators.cycle 9) in
+  check Alcotest.int "cycle diameter" 4 (Bfs.diameter_sampled c (Prng.create 1) ~samples:20);
+  let g = Generators.cycle 9 in
+  ignore (Graph.isolate g 0);
+  let c = Csr.of_graph g in
+  check Alcotest.int "disconnected = max_int" max_int
+    (Bfs.diameter_sampled c (Prng.create 1) ~samples:20)
+
+(* ---- Parallel.max_range_saturating ---- *)
+
+let prop_saturating_matches_max =
+  QCheck.Test.make ~name:"max_range_saturating = max_range at top saturate" ~count:80
+    QCheck.(pair (int_range 0 200) (int_range 1 4))
+    (fun (n, domains) ->
+      let f i = (i * 37) mod 101 in
+      Parallel.max_range_saturating ~domains n f ~saturate:max_int
+      = Parallel.max_range ~domains n f)
+
+let test_saturating_early_exit () =
+  (* once the saturation value is seen the remaining indices may be skipped,
+     but the result must still include it *)
+  let hits = Atomic.make 0 in
+  let f i =
+    Atomic.incr hits;
+    if i = 3 then 1000 else i
+  in
+  let r = Parallel.max_range_saturating ~domains:1 100 f ~saturate:1000 in
+  check Alcotest.int "saturated max" 1000 r;
+  check Alcotest.bool "skipped the tail" true (Atomic.get hits <= 10);
+  check Alcotest.int "empty range" min_int
+    (Parallel.max_range_saturating ~domains:2 0 (fun i -> i) ~saturate:5)
+
+(* ---- scratch arenas ---- *)
+
+let test_scratch_resizes () =
+  (* growing then shrinking the graph exercises realloc and reuse paths *)
+  List.iter
+    (fun n ->
+      let c = Csr.of_graph (Generators.cycle n) in
+      check Alcotest.int "cycle distance" (n / 2) (Bfs.distance c 0 (n / 2)))
+    [ 4; 64; 8; 128; 6 ]
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "kernels"
+    [
+      ( "bfs-batch",
+        Alcotest.test_case "empty/invalid" `Quick test_batch_empty_and_invalid
+        :: Alcotest.test_case "duplicate sources" `Quick test_batch_duplicates
+        :: Alcotest.test_case "batches cover" `Quick test_batches_cover
+        :: q
+             [
+               prop_batch_matches_scalar;
+               prop_batch_bounded_matches_scalar;
+               prop_all_distances_matches_scalar;
+             ] );
+      ( "stretch",
+        Alcotest.test_case "spanner pair" `Quick test_stretch_spanner_pair
+        :: Alcotest.test_case "disconnected" `Quick test_exact_disconnected_early_exit
+        :: q
+             [
+               prop_exact_matches_reference;
+               prop_exact_bounded_matches_reference;
+               prop_violations_consistent;
+               prop_sampled_pairs_snapshot_invariant;
+             ] );
+      ( "signalling",
+        [
+          Alcotest.test_case "eccentricity" `Quick test_eccentricity_signals;
+          Alcotest.test_case "diameter" `Quick test_diameter_signals;
+        ] );
+      ( "parallel",
+        Alcotest.test_case "early exit" `Quick test_saturating_early_exit
+        :: q [ prop_saturating_matches_max ] );
+      ("scratch", [ Alcotest.test_case "resizes" `Quick test_scratch_resizes ]);
+    ]
