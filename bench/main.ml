@@ -33,6 +33,7 @@ let table1_theorem2 () =
   Printf.printf "workload: random maximal edge-matchings (opt C=1) + permutation routing\n\n";
   let ns = pick ~quick:[ 216; 343 ] ~standard:[ 216; 343; 512 ] ~full:[ 216; 343; 512; 729 ] in
   let eps = 0.15 in
+  let ctor = Construction.find_exn "theorem2" in
   let table =
     Report.create ~title:"theorem 2 sweep (e = 5/3 for the edge norm)"
       ~columns:("Delta" :: "E[T_w] max" :: Experiment.row_columns)
@@ -43,7 +44,7 @@ let table1_theorem2 () =
       let d = int_of_float (float_of_int n ** ((2.0 /. 3.0) +. eps)) in
       let g = regular_expander (1000 + n) n d in
       let rng = Prng.create (2000 + n) in
-      let dc = Dc_spanner.build Dc_spanner.Theorem2 rng g in
+      let dc = Construction.build ctor rng g in
       (* more trials sharpen the per-node expected-load estimate; the
          router's candidate cache makes repeat trials cheap *)
       let row = Experiment.evaluate ~trials:10 rng dc in
@@ -51,7 +52,7 @@ let table1_theorem2 () =
       Report.add_row table
         (string_of_int (Graph.max_degree g)
         :: fmt row.Experiment.matching.Dc.max_mean_node_load
-        :: Experiment.row_cells row ~norm_exp:(5.0 /. 3.0)))
+        :: Experiment.row_cells_of ctor row))
     ns;
   if List.length !sizes >= 2 then
     Report.add_note table
@@ -71,6 +72,7 @@ let table1_becchetti () =
   Printf.printf
     "paper: Delta = Omega(n) expander -> (O(log n), O(log^3 n))-DC-spanner, O(n) edges\n\n";
   let ns = pick ~quick:[ 200 ] ~standard:[ 200; 400 ] ~full:[ 200; 400; 800 ] in
+  let ctor = Construction.find_exn "bounded-degree" in
   let table =
     Report.create ~title:"bounded-degree sparsifier sweep (e = 1 for the edge norm)"
       ~columns:("Delta" :: Experiment.row_columns)
@@ -79,10 +81,10 @@ let table1_becchetti () =
     (fun n ->
       let g = regular_expander (3000 + n) n (n / 4) in
       let rng = Prng.create (4000 + n) in
-      let dc = Dc_spanner.build Dc_spanner.Bounded_degree rng g in
+      let dc = Construction.build ctor rng g in
       let row = Experiment.evaluate ~trials:3 rng dc in
       Report.add_row table
-        (string_of_int (Graph.max_degree g) :: Experiment.row_cells row ~norm_exp:1.0))
+        (string_of_int (Graph.max_degree g) :: Experiment.row_cells_of ctor row))
     ns;
   Report.add_note table "shape checks: m(H)/n constant; dist = O(log n); lam(H)/deg(H) < 1";
   Report.add_note table "certifies the sparsifier is still an expander (DESIGN.md 3.3).";
@@ -97,6 +99,7 @@ let table1_koutis_xu () =
   Printf.printf
     "paper: any expander -> (O(log n), O(log^4 n))-DC-spanner, O(n log n) edges\n\n";
   let ns = pick ~quick:[ 200 ] ~standard:[ 200; 400 ] ~full:[ 200; 400; 800 ] in
+  let ctor = Construction.find_exn "spectral" in
   let table =
     Report.create ~title:"spectral sparsifier sweep"
       ~columns:("Delta" :: "m(H)/(n ln n)" :: Experiment.row_columns)
@@ -105,7 +108,7 @@ let table1_koutis_xu () =
     (fun n ->
       let g = regular_expander (5000 + n) n (n / 4) in
       let rng = Prng.create (6000 + n) in
-      let dc = Dc_spanner.build Dc_spanner.Spectral_sparsify rng g in
+      let dc = Construction.build ctor rng g in
       let row = Experiment.evaluate ~trials:3 rng dc in
       let per_nlogn =
         float_of_int row.Experiment.m_spanner /. (float_of_int n *. log (float_of_int n))
@@ -113,7 +116,7 @@ let table1_koutis_xu () =
       Report.add_row table
         (string_of_int (Graph.max_degree g)
         :: fmt per_nlogn
-        :: Experiment.row_cells row ~norm_exp:1.0))
+        :: Experiment.row_cells_of ctor row))
     ns;
   Report.add_note table
     "uniform sampling at Theta(log n / Delta) stands in for effective-resistance";
@@ -130,6 +133,7 @@ let table1_theorem3 () =
     "paper: Delta-regular, Delta >= n^{2/3} -> (3, O(sqrt(Delta) log n))-DC-spanner,\n";
   Printf.printf "       O(n^{5/3} log^2 n) edges; matchings route with C <= 1 + 2 sqrt(Delta)\n\n";
   let ns = pick ~quick:[ 216; 343 ] ~standard:[ 216; 343; 512 ] ~full:[ 216; 343; 512; 729 ] in
+  let ctor = Construction.find_exn "algorithm1" in
   let table =
     Report.create ~title:"algorithm 1 sweep (e = 5/3)"
       ~columns:
@@ -156,7 +160,7 @@ let table1_theorem3 () =
            string_of_int t.Regular_dc.repaired;
            fmt (row.Experiment.matching.Dc.mean_congestion /. sqrt_d);
          ]
-        @ Experiment.row_cells row ~norm_exp:(5.0 /. 3.0)))
+        @ Experiment.row_cells_of ctor row))
     ns;
   if List.length !sizes >= 2 then
     Report.add_note table
@@ -299,7 +303,7 @@ let figures_fig2 () =
   List.iter
     (fun d ->
       let g = regular_expander (200 + d) n d in
-      let gc = Csr.of_graph g in
+      let gc = Csr.snapshot g in
       let lam = Spectral.lambda_lanczos gc in
       (* Lemma 3 (expander mixing lemma) verified with the measured lambda *)
       let mixing = Mixing.check ~trials:40 (Prng.create (250 + d)) gc ~lambda:lam in
@@ -429,7 +433,7 @@ let lemmas_theorem1 () =
   let side = pick ~quick:8 ~standard:10 ~full:14 in
   let g = Generators.torus side side in
   let n = side * side in
-  let c = Csr.of_graph g in
+  let c = Csr.snapshot g in
   let table =
     Report.create
       ~title:
@@ -700,11 +704,11 @@ let ablation_decomposition () =
   let t = Regular_dc.build rng g in
   let dc = Regular_dc.to_dc t g in
   let problem = Problems.permutation rng g in
-  let base = Sp_routing.route_random (Csr.of_graph g) rng problem in
+  let base = Sp_routing.route_random (Csr.snapshot g) rng problem in
   let base_c = Routing.congestion ~n:(Graph.n g) base in
   let report = Dc.measure_general dc rng base in
   (* naive: independently reroute each pair by a random shortest path in H *)
-  let hc = Csr.of_graph t.Regular_dc.spanner in
+  let hc = Csr.snapshot t.Regular_dc.spanner in
   let naive = Sp_routing.route_random hc rng problem in
   let naive_c = Routing.congestion ~n:(Graph.n g) naive in
   let table =
@@ -742,9 +746,9 @@ let ablation_classic_congestion () =
       ~columns:[ "construction"; "m(H)"; "dist"; "match C mean"; "match C max" ]
   in
   List.iter
-    (fun algo ->
+    (fun ctor ->
       let rng = Prng.create 932 in
-      let dc = Dc_spanner.build algo rng g in
+      let dc = Construction.build ctor rng g in
       let row = Experiment.evaluate ~trials:3 ~with_general:false ~with_lambda:false rng dc in
       Report.add_row table
         [
@@ -755,7 +759,7 @@ let ablation_classic_congestion () =
           fmt row.Experiment.matching.Dc.mean_congestion;
           string_of_int row.Experiment.matching.Dc.max_congestion;
         ])
-    [ Dc_spanner.Algorithm1; Dc_spanner.Theorem2; Dc_spanner.Greedy 2; Dc_spanner.Baswana_sen ];
+    (List.map Construction.find_exn [ "algorithm1"; "theorem2"; "greedy"; "baswana-sen" ]);
   Report.add_note table "greedy/Baswana-Sen control only distance; their matching congestion";
   Report.add_note table "is set by whatever the sparse topology forces.";
   Report.print table
@@ -790,7 +794,7 @@ let ablation_valiant () =
   in
   List.iter
     (fun (gname, g, problems) ->
-      let c = Csr.of_graph g in
+      let c = Csr.snapshot g in
       List.iter
         (fun (pname, mk) ->
           let rng = Prng.create 981 in
@@ -919,7 +923,7 @@ let ext_congestion_baselines () =
     "the harness approximates the optimal congestion C_G(R); this block compares the\n";
   Printf.printf "routers against the exact optimum (branch-and-bound) on small instances\n\n";
   let g = Generators.torus 6 6 in
-  let c = Csr.of_graph g in
+  let c = Csr.snapshot g in
   let table =
     Report.create ~title:"routing a random-pairs problem on a 6x6 torus"
       ~columns:[ "requests"; "deterministic SP"; "random SP"; "optimizer"; "exact optimum" ]
@@ -963,10 +967,11 @@ let ext_dc_estimates () =
       ~columns:[ "construction"; "trials"; "successes"; "rho"; "worst dist"; "worst cong" ]
   in
   List.iter
-    (fun algo ->
+    (fun ctor ->
       let rng = Prng.create 972 in
-      let dc = Dc_spanner.build algo rng g in
-      let alpha = match algo with Dc_spanner.Khop k -> float_of_int ((2 * k) - 1) | _ -> 3.0 in
+      let dc = Construction.build ctor rng g in
+      (* the registry carries each construction's target distance stretch *)
+      let alpha = Option.value ctor.Construction.alpha ~default:3.0 in
       let e = Dc_check.estimate ~trials:8 ~alpha ~beta dc rng in
       Report.add_row table
         [
@@ -977,7 +982,7 @@ let ext_dc_estimates () =
           fmt e.Dc_check.worst_dist;
           fmt e.Dc_check.worst_cong;
         ])
-    [ Dc_spanner.Algorithm1; Dc_spanner.Theorem2; Dc_spanner.Khop 3; Dc_spanner.Greedy 2 ];
+    (List.map Construction.find_exn [ "algorithm1"; "theorem2"; "khop-5"; "greedy" ]);
   Report.add_note table "the DC constructions hold at the theorem's beta with rho = 1; the";
   Report.add_note table "distance-only greedy baseline passes or fails on congestion alone.";
   Report.print table
@@ -999,7 +1004,7 @@ let ext_packets () =
         [ "network"; "links"; "C"; "D"; "lower bd"; "delivered by"; "max queue"; "avg latency" ]
   in
   let simulate name h =
-    let routing = Congestion_opt.route (Csr.of_graph h) (Prng.create 963) problem in
+    let routing = Congestion_opt.route (Csr.snapshot h) (Prng.create 963) problem in
     let s = Packet_sim.run ~n:(Graph.n g) routing in
     Report.add_row table
       [
@@ -1065,12 +1070,15 @@ let fault_degradation_sweep () =
           "certified";
         ]
   in
+  (* every registered construction whose premise accepts this graph takes a
+     turn — a new registry entry joins the sweep automatically *)
+  let premise = Premise.check g in
   List.iter
-    (fun algo ->
-      let dc = Dc_spanner.build algo (Prng.create 1202) g in
+    (fun ctor ->
+      let dc = Construction.build ctor (Prng.create 1202) g in
       let h = dc.Dc.spanner in
       let problem = Problems.permutation (Prng.create 1203) g in
-      let routing = Sp_routing.route_random (Csr.of_graph h) (Prng.create 1204) problem in
+      let routing = Sp_routing.route_random (Csr.snapshot h) (Prng.create 1204) problem in
       List.iter
         (fun p ->
           let plan = Fault_plan.uniform_nodes ~round:2 (Prng.create 1205) g ~p in
@@ -1092,7 +1100,7 @@ let fault_degradation_sweep () =
               string_of_bool rep.Repair.certified;
             ])
         rates)
-    [ Dc_spanner.Theorem2; Dc_spanner.Algorithm1; Dc_spanner.Greedy 2; Dc_spanner.Baswana_sen ];
+    (Construction.accepting premise);
   Report.add_note table "drops are packets whose endpoint died (unavoidable) or that exhausted";
   Report.add_note table "their retransmission budget; the DC spanners' spare detours keep the";
   Report.add_note table "reroute success rate up and the repair bill low at the same p.";
@@ -1170,7 +1178,7 @@ let run_timing () =
   let n = pick ~quick:125 ~standard:216 ~full:343 in
   let d = even_degree n (int_of_float (float_of_int n ** 0.7)) in
   let g = regular_expander 991 n d in
-  let gc = Csr.of_graph g in
+  let gc = Csr.snapshot g in
   let small_routing =
     let rng = Prng.create 992 in
     let problem = Problems.random_pairs rng g ~k:(n / 2) in
@@ -1291,7 +1299,7 @@ let run_obs () =
   let n = pick ~quick:216 ~standard:343 ~full:512 in
   let d = even_degree n (int_of_float (float_of_int n ** 0.7)) in
   let g = regular_expander 995 n d in
-  let gc = Csr.of_graph g in
+  let gc = Csr.snapshot g in
   let probe = Metrics.counter "bench.obs_probe" in
   let probe_h = Metrics.histo "bench.obs_probe_h" in
   let tests =
@@ -1367,7 +1375,7 @@ let run_kernels () =
   Printf.printf "with bit-identical certificates\n\n";
   let ns = pick ~quick:[ 125; 216 ] ~standard:[ 216; 343; 512 ] ~full:[ 216; 343; 512; 729 ] in
   let eps = 0.15 in
-  let constructions = [ ("theorem2", Dc_spanner.Theorem2); ("algorithm1", Dc_spanner.Algorithm1) ] in
+  let constructions = List.map Construction.find_exn [ "theorem2"; "algorithm1" ] in
   let table =
     Report.create
       ~title:(Printf.sprintf "certification kernels (batch width %d)" Bfs_batch.width)
@@ -1379,13 +1387,14 @@ let run_kernels () =
   in
   let cases = ref [] in
   List.iter
-    (fun (cname, alg) ->
+    (fun ctor ->
+      let cname = ctor.Construction.name in
       List.iter
         (fun n ->
           let d = int_of_float (float_of_int n ** ((2.0 /. 3.0) +. eps)) in
           let g = regular_expander (1000 + n) n d in
           let rng = Prng.create (2000 + n) in
-          let dc = Dc_spanner.build alg rng g in
+          let dc = Construction.build ctor rng g in
           let h = dc.Dc.spanner in
           let removed = Graph.m g - Graph.m h in
           let sources =

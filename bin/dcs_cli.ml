@@ -3,6 +3,7 @@
    Subcommands:
      graph        generate a graph family and print its statistics
      spanner      build a spanner and measure both stretches
+     list         print the construction registry (premises, guarantees, references)
      faults       inject faults, simulate degraded routing, self-heal the spanner
      lowerbound   run the Theorem 4 lower-bound experiment
      distributed  run the Corollary 3 LOCAL protocol
@@ -10,6 +11,7 @@
    Examples:
      dune exec bin/dcs_cli.exe -- graph --family regular --n 343 --degree 60
      dune exec bin/dcs_cli.exe -- spanner --algorithm algorithm1 --n 343 --degree 60
+     dune exec bin/dcs_cli.exe -- list --json
      dune exec bin/dcs_cli.exe -- lowerbound --k 8 --instances 50 --pool 1400
      dune exec bin/dcs_cli.exe -- distributed --n 100 --degree 24 --seed 7 *)
 
@@ -122,7 +124,7 @@ let graph_cmd =
   let run () family n degree p seed input output =
     let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
     (match output with None -> () | Some path -> Graph_io.write g path);
-    let c = Csr.of_graph g in
+    let c = Csr.snapshot g in
     let rng = Prng.create (seed + 1) in
     Printf.printf "family:      %s\n" family;
     Printf.printf "nodes:       %d\n" (Graph.n g);
@@ -148,28 +150,13 @@ let graph_cmd =
 
 (* ---- spanner ---- *)
 
-let algorithm_of_string = function
-  | "theorem2" -> Ok Dc_spanner.Theorem2
-  | "algorithm1" -> Ok Dc_spanner.Algorithm1
-  | "greedy" -> Ok (Dc_spanner.Greedy 2)
-  | "baswana-sen" -> Ok Dc_spanner.Baswana_sen
-  | "spectral" -> Ok Dc_spanner.Spectral_sparsify
-  | "bounded-degree" -> Ok Dc_spanner.Bounded_degree
-  | "khop-5" -> Ok (Dc_spanner.Khop 3)
-  | "khop-7" -> Ok (Dc_spanner.Khop 4)
-  | "irregular" -> Ok Dc_spanner.Irregular
-  | other ->
-      Error
-        (Printf.sprintf
-           "unknown algorithm %S (expected theorem2 | algorithm1 | greedy | baswana-sen | \
-            spectral | bounded-degree | khop-5 | khop-7 | irregular)"
-           other)
+(* Name parsing, the accepted-names doc string, premise validation and the
+   [list] subcommand below are all derived from the construction registry:
+   a new construction registered in [Construction.all] shows up in every
+   subcommand without touching this file. *)
 
 let algorithm_arg =
-  let doc =
-    "Spanner construction: theorem2 | algorithm1 | greedy | baswana-sen | spectral | \
-     bounded-degree | khop-5 | khop-7 | irregular."
-  in
+  let doc = "Spanner construction: " ^ Construction.expected ^ "." in
   Arg.(value & opt string "algorithm1" & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
 
 let general_arg =
@@ -178,22 +165,12 @@ let general_arg =
 let spanner_cmd =
   let run () family n degree p seed algorithm trials general input output =
     let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
-    let* algo = algorithm_of_string algorithm in
+    let* ctor = Construction.find algorithm in
     let rng = Prng.create (seed + 1) in
-    let dc = Dc_spanner.build algo rng g in
+    let dc = Construction.build ctor rng g in
     Printf.printf "construction: %s\n" dc.Dc.name;
-    Printf.printf "guarantee:    %s\n" (Dc_spanner.stretch_guarantee algo);
-    (match algo with
-    | Dc_spanner.Theorem2 | Dc_spanner.Algorithm1 ->
-        let premise = Premise.check g in
-        let relevant =
-          match algo with
-          | Dc_spanner.Theorem2 -> Premise.theorem2_ok premise
-          | _ -> Premise.theorem3_ok premise
-        in
-        if not relevant then
-          List.iter (Printf.printf "warning:      %s\n") (Premise.describe premise)
-    | _ -> ());
+    Printf.printf "guarantee:    %s\n" ctor.Construction.guarantee;
+    List.iter (Printf.printf "warning:      %s\n") (Construction.premise_warnings ctor g);
     let row = Experiment.evaluate ~trials ~with_general:general rng dc in
     Printf.printf "graph:        n=%d m=%d lambda=%.2f\n" row.Experiment.n row.Experiment.m_graph
       row.Experiment.lambda;
@@ -224,6 +201,52 @@ let spanner_cmd =
         $ trials_arg $ general_arg $ input_arg $ output_arg)
   in
   Cmd.v (Cmd.info "spanner" ~doc:"Build a spanner and measure both stretches.") term
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the registry as a JSON document.")
+  in
+  let run () json =
+    if json then print_string (Construction.to_json ())
+    else begin
+      (* every row below is generated from [Construction.all]; nothing here
+         is hand-maintained per construction *)
+      let header = [ "name"; "aliases"; "premise"; "guarantee"; "params"; "n^e"; "reference" ] in
+      let rows =
+        List.map
+          (fun c ->
+            [
+              c.Construction.name;
+              (match c.Construction.aliases with [] -> "-" | a -> String.concat "," a);
+              Premise.requirement_text c.Construction.premise;
+              c.Construction.guarantee;
+              Construction.params_text c;
+              Printf.sprintf "%.2f" c.Construction.edge_exponent;
+              c.Construction.reference;
+            ])
+          Construction.all
+      in
+      let widths =
+        List.fold_left
+          (fun ws row -> List.map2 (fun w cell -> max w (String.length cell)) ws row)
+          (List.map String.length header) rows
+      in
+      let print_row row =
+        print_string
+          (String.concat "  " (List.map2 (fun w cell -> Printf.sprintf "%-*s" w cell) widths row));
+        print_newline ()
+      in
+      print_row header;
+      print_row (List.map (fun w -> String.make w '-') widths);
+      List.iter print_row rows
+    end
+  in
+  let term = Term.(const run $ obs_term $ json_arg) in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every registered spanner construction (premise, guarantee, reference).")
+    term
 
 (* ---- lowerbound ---- *)
 
@@ -270,9 +293,9 @@ let check_cmd =
   in
   let run () family n degree p seed algorithm trials alpha beta input =
     let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
-    let* algo = algorithm_of_string algorithm in
+    let* ctor = Construction.find algorithm in
     let rng = Prng.create (seed + 1) in
-    let dc = Dc_spanner.build algo rng g in
+    let dc = Construction.build ctor rng g in
     let beta =
       match beta with
       | Some b -> b
@@ -328,7 +351,7 @@ let route_cmd =
   in
   let run () family n degree p seed strategy requests input problem_file =
     let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
-    let c = Csr.of_graph g in
+    let c = Csr.snapshot g in
     let rng = Prng.create (seed + 1) in
     let* problem =
       match problem_file with
@@ -469,7 +492,7 @@ let faults_cmd =
   let run () family n degree p seed algorithm rate mode round kill requests timeout attempts json
       input =
     let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
-    let* algo = algorithm_of_string algorithm in
+    let* ctor = Construction.find algorithm in
     let* () =
       if rate < 0.0 || rate > 1.0 then Error "fail-rate must lie in [0, 1]"
       else if round < 1 then Error "fail-round must be >= 1"
@@ -477,14 +500,14 @@ let faults_cmd =
       else Ok ()
     in
     let rng = Prng.create (seed + 1) in
-    let dc = Dc_spanner.build algo rng g in
+    let dc = Construction.build ctor rng g in
     let h = dc.Dc.spanner in
     let nn = Graph.n g in
     let problem =
       if requests <= 0 then Problems.permutation rng g else Problems.random_pairs rng g ~k:requests
     in
     let* routing =
-      try Ok (Sp_routing.route_random (Csr.of_graph h) rng problem)
+      try Ok (Sp_routing.route_random (Csr.snapshot h) rng problem)
       with Failure _ -> Error "the spanner disconnects the workload; cannot route in it"
     in
     let frng = Prng.create (seed + 2) in
@@ -604,6 +627,7 @@ let () =
           [
             graph_cmd;
             spanner_cmd;
+            list_cmd;
             check_cmd;
             route_cmd;
             verify_cmd;

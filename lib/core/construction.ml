@@ -1,0 +1,125 @@
+type t = {
+  name : string;
+  aliases : string list;
+  algorithm : Dc_spanner.algorithm;
+  reference : string;
+  premise : Premise.requirement;
+  guarantee : string;
+  alpha : float option;
+  edge_exponent : float;
+  params : (string * string) list;
+  build : Prng.t -> Graph.t -> Dc.t;
+}
+
+(* One record per construction.  Everything a consumer layer needs — CLI
+   parsing, premise validation, guarantee display, bench sweeps, the edge
+   normalization exponent — reads from here; adding construction #10 is a
+   one-record diff.  The guarantee string is taken from
+   [Dc_spanner.stretch_guarantee] so the display text has a single source. *)
+let entry ?(aliases = []) ?alpha ?(params = []) ~name ~reference ~premise ~edge_exponent algorithm =
+  {
+    name;
+    aliases;
+    algorithm;
+    reference;
+    premise;
+    guarantee = Dc_spanner.stretch_guarantee algorithm;
+    alpha;
+    edge_exponent;
+    params;
+    build = Dc_spanner.build algorithm;
+  }
+
+let all =
+  [
+    entry ~name:"theorem2" ~aliases:[ "expander" ]
+      ~reference:"Table 1 row 1 (Theorem 2)" ~premise:Premise.Theorem2 ~alpha:3.0
+      ~edge_exponent:(5.0 /. 3.0) Dc_spanner.Theorem2;
+    entry ~name:"bounded-degree" ~aliases:[ "becchetti" ]
+      ~reference:"Table 1 row 2 ([5]-substitute)" ~premise:Premise.Expander
+      ~edge_exponent:1.0 Dc_spanner.Bounded_degree;
+    entry ~name:"spectral" ~aliases:[ "koutis-xu" ]
+      ~reference:"Table 1 row 3 ([16]-substitute)" ~premise:Premise.Expander
+      ~edge_exponent:1.0 Dc_spanner.Spectral_sparsify;
+    entry ~name:"algorithm1" ~aliases:[ "theorem3" ]
+      ~reference:"Table 1 row 4 (Theorem 3, Algorithm 1)" ~premise:Premise.Theorem3 ~alpha:3.0
+      ~edge_exponent:(5.0 /. 3.0) Dc_spanner.Algorithm1;
+    entry ~name:"greedy" ~aliases:[ "greedy-3" ]
+      ~reference:"baseline [ADDJS93] (distance-only)" ~premise:Premise.Any ~alpha:3.0
+      ~edge_exponent:1.5
+      ~params:[ ("k", "2") ]
+      (Dc_spanner.Greedy 2);
+    entry ~name:"baswana-sen"
+      ~reference:"baseline [BS07] (distance-only)" ~premise:Premise.Any ~alpha:3.0
+      ~edge_exponent:1.5 Dc_spanner.Baswana_sen;
+    entry ~name:"khop-5" ~aliases:[ "khop3" ]
+      ~reference:"Section 8 open problem (k-hop, k = 3)" ~premise:Premise.Any ~alpha:5.0
+      ~edge_exponent:(1.0 +. (1.0 /. 3.0))
+      ~params:[ ("k", "3") ]
+      (Dc_spanner.Khop 3);
+    entry ~name:"khop-7" ~aliases:[ "khop4" ]
+      ~reference:"Section 8 open problem (k-hop, k = 4)" ~premise:Premise.Any ~alpha:7.0
+      ~edge_exponent:1.25
+      ~params:[ ("k", "4") ]
+      (Dc_spanner.Khop 4);
+    entry ~name:"irregular"
+      ~reference:"Section 8 open problem (degree-local Algorithm 1)" ~premise:Premise.Any
+      ~alpha:3.0 ~edge_exponent:(5.0 /. 3.0) Dc_spanner.Irregular;
+  ]
+
+let names = List.map (fun c -> c.name) all
+
+let all_names = List.concat_map (fun c -> c.name :: c.aliases) all
+
+let matches query c =
+  let q = String.lowercase_ascii query in
+  String.lowercase_ascii c.name = q
+  || List.exists (fun a -> String.lowercase_ascii a = q) c.aliases
+
+let expected = String.concat " | " names
+
+let find query =
+  match List.find_opt (matches query) all with
+  | Some c -> Ok c
+  | None ->
+      Error (Printf.sprintf "unknown algorithm %S (expected %s)" query (String.concat " | " all_names))
+
+let find_exn query =
+  match find query with Ok c -> c | Error msg -> invalid_arg ("Construction.find_exn: " ^ msg)
+
+let build c = c.build
+
+let premise_ok c p = Premise.satisfied c.premise p
+
+let premise_warnings c g =
+  match c.premise with
+  | Premise.Any -> []
+  | req ->
+      let p = Premise.check g in
+      if Premise.satisfied req p then [] else Premise.violations req p
+
+let accepting p = List.filter (fun c -> premise_ok c p) all
+
+let params_text c =
+  match c.params with
+  | [] -> "-"
+  | ps -> String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) ps)
+
+let to_json () =
+  let entry_json c =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"aliases\":[%s],\"reference\":\"%s\",\"premise\":\"%s\",\"guarantee\":\"%s\",\"alpha\":%s,\"edge_exponent\":%s,\"params\":{%s}}"
+      (Obs.json_escape c.name)
+      (String.concat "," (List.map (fun a -> "\"" ^ Obs.json_escape a ^ "\"") c.aliases))
+      (Obs.json_escape c.reference)
+      (Obs.json_escape (Premise.requirement_text c.premise))
+      (Obs.json_escape c.guarantee)
+      (match c.alpha with None -> "null" | Some a -> Obs.json_float a)
+      (Obs.json_float c.edge_exponent)
+      (String.concat ","
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf "\"%s\":\"%s\"" (Obs.json_escape k) (Obs.json_escape v))
+            c.params))
+  in
+  Printf.sprintf "{\"constructions\":[%s]}\n" (String.concat "," (List.map entry_json all))

@@ -15,7 +15,7 @@ let evaluate ?(trials = 5) ?(with_general = true) ?(with_lambda = true) rng (dc 
   let n = Graph.n g in
   (* one CSR snapshot per graph for the whole evaluation: spectral, exact
      stretch and baseline routing all read the same immutable views *)
-  let gc = Csr.of_graph g and hc = Csr.of_graph h in
+  let gc = Csr.snapshot g and hc = Csr.snapshot h in
   let lambda, lambda_spanner =
     Trace.with_span ~name:"experiment.spectral" (fun () ->
         if with_lambda then (Spectral.lambda gc, Spectral.lambda hc) else (0.0, 0.0))
@@ -78,3 +78,7 @@ let row_cells row ~norm_exp =
     | None -> "-"
     | Some g -> string_of_int g.Dc.decompose.Decompose.degree_sum);
   ]
+
+(* registry-driven normalization: the construction's metadata carries the
+   expected edge exponent, so sweeps never pass magic floats *)
+let row_cells_of ctor row = row_cells row ~norm_exp:ctor.Construction.edge_exponent

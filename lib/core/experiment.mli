@@ -46,5 +46,10 @@ val row_cells : row -> norm_exp:float -> string list
     [n; m(G); m(H); m(H)/n^e; lambda(G); lambda(H); dist; match-cong(mean/max);
     gen-stretch; decomp]. *)
 
+val row_cells_of : Construction.t -> row -> string list
+(** {!row_cells} with the normalization exponent read from the construction's
+    registry metadata ({!Construction.edge_exponent}) instead of a caller-
+    supplied magic float. *)
+
 val row_columns : string list
 (** Matching column headers. *)

@@ -21,49 +21,47 @@ let default_thresholds g =
    knowledge; running the *same* rule over both is what makes the
    equality assertion of Corollary 3 meaningful. *)
 type view = {
-  neighbors : int -> int list;  (* N_G as far as known *)
+  iter_nbrs : int -> (int -> unit) -> unit;  (* N_G as far as known *)
   mem : int -> int -> bool;  (* edge of G known *)
   sampled : int -> int -> bool;  (* known and survived into G' *)
 }
 
+(* [exists] over an iterator; all the decision-rule queries below are counts
+   or existence checks, so they never depend on the iteration order *)
+let exists_nbr view x p =
+  try
+    view.iter_nbrs x (fun z -> if p z then raise Exit);
+    false
+  with Exit -> true
+
 let common_count view x y limit =
   let count = ref 0 in
   (try
-     List.iter
-       (fun z ->
+     view.iter_nbrs x (fun z ->
          if view.mem y z then begin
            incr count;
            if !count >= limit then raise Exit
          end)
-       (view.neighbors x)
    with Exit -> ());
   !count
 
 let supported_toward view ~a ~b u v =
   let count = ref 0 in
   (try
-     List.iter
-       (fun z ->
+     view.iter_nbrs v (fun z ->
          if z <> u && common_count view u z (a + 1) >= a + 1 then begin
            incr count;
            if !count >= b then raise Exit
          end)
-       (view.neighbors v)
    with Exit -> ());
   !count >= b
 
 let has_surviving_detour view u v =
-  let two =
-    List.exists (fun x -> x <> v && view.sampled u x && view.sampled x v) (view.neighbors u)
-  in
-  two
-  || List.exists
-       (fun z ->
+  exists_nbr view u (fun x -> x <> v && view.sampled u x && view.sampled x v)
+  || exists_nbr view v (fun z ->
          z <> u && z <> v && view.sampled v z
-         && List.exists
-              (fun x -> x <> u && x <> v && x <> z && view.sampled z x && view.sampled u x)
-              (view.neighbors z))
-       (view.neighbors v)
+         && exists_nbr view z (fun x ->
+                x <> u && x <> v && x <> z && view.sampled z x && view.sampled u x))
 
 (* Whether a *non-sampled* edge (u, v) belongs to H: reinserted when it is
    not (a,b)-supported in either direction (Algorithm 1 line 9) or when all
@@ -80,7 +78,7 @@ let reference ?thresholds ~seed g =
   Graph.iter_edges g (fun u v -> Hashtbl.replace sampled_tbl (u, v) (edge_coin ~seed ~rho u v));
   let view =
     {
-      neighbors = (fun x -> Graph.neighbors g x);
+      iter_nbrs = (fun x f -> Graph.iter_neighbors g x f);
       mem = (fun x y -> Graph.mem_edge g x y);
       sampled =
         (fun x y -> match Hashtbl.find_opt sampled_tbl (norm x y) with Some f -> f | None -> false);
@@ -125,7 +123,7 @@ let learn st (u, v, flag) =
 
 let view_of st =
   {
-    neighbors = (fun x -> try Hashtbl.find st.adj x with Not_found -> []);
+    iter_nbrs = (fun x f -> List.iter f (try Hashtbl.find st.adj x with Not_found -> []));
     mem = (fun x y -> Hashtbl.mem st.know (norm x y));
     sampled =
       (fun x y -> match Hashtbl.find_opt st.know (norm x y) with Some f -> f | None -> false);

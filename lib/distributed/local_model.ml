@@ -18,7 +18,11 @@ let run g ~rounds ~init ~step =
   let n = Graph.n g in
   let neighbors =
     Array.init n (fun v ->
-        let ns = Array.of_list (Graph.neighbors g v) in
+        let ns = Array.make (Graph.degree g v) 0 in
+        let i = ref 0 in
+        Graph.iter_neighbors g v (fun x ->
+            ns.(!i) <- x;
+            incr i);
         Array.sort compare ns;
         ns)
   in

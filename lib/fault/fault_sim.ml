@@ -58,12 +58,12 @@ let run ?(timeout = 4) ?(max_attempts = 5) ?(backoff_cap = 64) ~n ~network ~plan
     Array.fold_left max 0 loads
   in
   (* fault state: [alive]/[removed] answer liveness queries on the hot path;
-     [survivor] mirrors them as a graph for BFS reroutes (CSR snapshot
-     rebuilt lazily, only when the survivor changed since the last reroute) *)
+     [survivor] mirrors them as a graph for BFS reroutes ([Csr.snapshot]'s
+     version cache rebuilds its CSR only when the survivor changed since the
+     last reroute) *)
   let alive = Array.make n true in
   let removed = Hashtbl.create 16 in
   let survivor = Graph.copy network in
-  let survivor_csr = ref None in
   let edge_key u v = if u < v then (u, v) else (v, u) in
   let link_ok u v = alive.(v) && not (Hashtbl.mem removed (edge_key u v)) in
   let failed_nodes = ref 0 and failed_edges = ref 0 in
@@ -73,26 +73,17 @@ let run ?(timeout = 4) ?(max_attempts = 5) ?(backoff_cap = 64) ~n ~network ~plan
           alive.(v) <- false;
           incr failed_nodes;
           Metrics.incr m_node_faults;
-          ignore (Graph.isolate survivor v);
-          survivor_csr := None
+          ignore (Graph.isolate survivor v)
         end
     | Fault_plan.Fail_edge (u, v) ->
         if not (Hashtbl.mem removed (edge_key u v)) then begin
           Hashtbl.replace removed (edge_key u v) ();
           incr failed_edges;
           Metrics.incr m_edge_faults;
-          ignore (Graph.remove_edge survivor u v);
-          survivor_csr := None
+          ignore (Graph.remove_edge survivor u v)
         end
   in
-  let csr () =
-    match !survivor_csr with
-    | Some c -> c
-    | None ->
-        let c = Csr.of_graph survivor in
-        survivor_csr := Some c;
-        c
-  in
+  let csr () = Csr.snapshot survivor in
   (* packet state *)
   let delivery = Array.make k (-1) in
   let queues = Array.make n [] in

@@ -1,23 +1,8 @@
-type t = { n : int; xadj : int array; adjncy : int array }
+type t = Graph.csr = private { n : int; xadj : int array; adjncy : int array }
 
-let of_graph g =
-  let size = Graph.n g in
-  let xadj = Array.make (size + 1) 0 in
-  for v = 0 to size - 1 do
-    xadj.(v + 1) <- xadj.(v) + Graph.degree g v
-  done;
-  let adjncy = Array.make xadj.(size) 0 in
-  for v = 0 to size - 1 do
-    let pos = ref xadj.(v) in
-    Graph.iter_neighbors g v (fun u ->
-        adjncy.(!pos) <- u;
-        incr pos);
-    let lo = xadj.(v) and hi = xadj.(v + 1) in
-    let slice = Array.sub adjncy lo (hi - lo) in
-    Array.sort compare slice;
-    Array.blit slice 0 adjncy lo (hi - lo)
-  done;
-  { n = size; xadj; adjncy }
+let of_graph = Graph.to_csr
+
+let snapshot = Graph.snapshot
 
 let n t = t.n
 

@@ -4,15 +4,23 @@
     hot loops of the benchmark harness; they all run over this flat-array
     representation instead of the hash-based {!Graph.t}. *)
 
-type t = private {
+type t = Graph.csr = private {
   n : int;  (** number of nodes *)
   xadj : int array;  (** offsets: neighbors of [v] live at [xadj.(v) .. xadj.(v+1) - 1] *)
   adjncy : int array;  (** concatenated neighbor lists *)
 }
 
 val of_graph : Graph.t -> t
-(** Snapshot a mutable graph.  Neighbor lists are sorted ascending so that the
-    snapshot is canonical for a given edge set. *)
+(** Build a fresh snapshot, bypassing the version cache ({!Graph.to_csr}).
+    Neighbor lists are sorted ascending so that the snapshot is canonical for
+    a given edge set.  Prefer {!snapshot} unless you specifically need a new
+    physical copy. *)
+
+val snapshot : Graph.t -> t
+(** The memoized snapshot ({!Graph.snapshot}): rebuilt only when the graph's
+    mutation {!Graph.version} has moved, otherwise the cached, physically
+    equal snapshot is returned.  [csr.snapshot_hits] / [csr.snapshot_builds]
+    metrics count the cache behavior. *)
 
 val n : t -> int
 (** Number of nodes. *)

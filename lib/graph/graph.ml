@@ -1,10 +1,17 @@
-type t = { adj : (int, unit) Hashtbl.t array; mutable m : int }
+type csr = { n : int; xadj : int array; adjncy : int array }
+
+type t = {
+  adj : (int, unit) Hashtbl.t array;
+  mutable m : int;
+  mutable version : int;  (* bumped on every successful mutation *)
+  mutable snap : (int * csr) option;  (* snapshot + the version it captured *)
+}
 
 type edge = int * int
 
 let create n =
   if n < 0 then invalid_arg "Graph.create: negative size";
-  { adj = Array.init n (fun _ -> Hashtbl.create 4); m = 0 }
+  { adj = Array.init n (fun _ -> Hashtbl.create 4); m = 0; version = 0; snap = None }
 
 let n g = Array.length g.adj
 
@@ -26,6 +33,7 @@ let add_edge g u v =
     Hashtbl.replace g.adj.(u) v ();
     Hashtbl.replace g.adj.(v) u ();
     g.m <- g.m + 1;
+    g.version <- g.version + 1;
     true
   end
 
@@ -36,6 +44,7 @@ let remove_edge g u v =
     Hashtbl.remove g.adj.(u) v;
     Hashtbl.remove g.adj.(v) u;
     g.m <- g.m - 1;
+    g.version <- g.version + 1;
     true
   end
   else false
@@ -75,7 +84,9 @@ let edge_array g =
       incr i);
   out
 
-let copy g = { adj = Array.map Hashtbl.copy g.adj; m = g.m }
+(* the snapshot is immutable and version-tagged, so sharing it is safe:
+   either copy mutating invalidates only its own tag *)
+let copy g = { adj = Array.map Hashtbl.copy g.adj; m = g.m; version = g.version; snap = g.snap }
 
 let of_edges size es =
   let g = create size in
@@ -128,6 +139,44 @@ let common_neighbors g u v =
   (* Scan the smaller adjacency set and probe the larger one. *)
   let u, v = if degree g u <= degree g v then (u, v) else (v, u) in
   fold_neighbors g u (fun acc x -> if Hashtbl.mem g.adj.(v) x then x :: acc else acc) []
+
+let version g = g.version
+
+(* CSR construction lives here (not in [Csr]) so that the cache slot inside
+   [t] can name the snapshot type without a dependency cycle; [Csr] re-exports
+   the record and both entry points. *)
+let to_csr g =
+  let size = n g in
+  let xadj = Array.make (size + 1) 0 in
+  for v = 0 to size - 1 do
+    xadj.(v + 1) <- xadj.(v) + degree g v
+  done;
+  let adjncy = Array.make xadj.(size) 0 in
+  for v = 0 to size - 1 do
+    let pos = ref xadj.(v) in
+    iter_neighbors g v (fun u ->
+        adjncy.(!pos) <- u;
+        incr pos);
+    let lo = xadj.(v) and hi = xadj.(v + 1) in
+    let slice = Array.sub adjncy lo (hi - lo) in
+    Array.sort compare slice;
+    Array.blit slice 0 adjncy lo (hi - lo)
+  done;
+  { n = size; xadj; adjncy }
+
+let m_snapshot_hits = Metrics.counter "csr.snapshot_hits"
+let m_snapshot_builds = Metrics.counter "csr.snapshot_builds"
+
+let snapshot g =
+  match g.snap with
+  | Some (v, c) when v = g.version ->
+      Metrics.incr m_snapshot_hits;
+      c
+  | _ ->
+      Metrics.incr m_snapshot_builds;
+      let c = to_csr g in
+      g.snap <- Some (g.version, c);
+      c
 
 let pp fmt g =
   Format.fprintf fmt "graph(n=%d, m=%d)" (n g) (m g);

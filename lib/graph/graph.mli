@@ -12,6 +12,14 @@
 
 type t
 
+type csr = private {
+  n : int;  (** number of nodes *)
+  xadj : int array;  (** offsets: neighbors of [v] live at [xadj.(v) .. xadj.(v+1) - 1] *)
+  adjncy : int array;  (** concatenated neighbor lists, sorted ascending per node *)
+}
+(** Immutable compressed-sparse-row snapshot of a graph.  {!Csr.t} is an alias
+    of this type; the traversal helpers live there. *)
+
 type edge = int * int
 (** Normalized edge: [(u, v)] with [u < v]. *)
 
@@ -91,6 +99,23 @@ val survivor : t -> alive:bool array -> t
 val common_neighbors : t -> int -> int -> int list
 (** [common_neighbors g u v] lists nodes adjacent to both [u] and [v]; these
     are exactly the routers of 2-detours with base [{u, v}] (Section 4). *)
+
+val version : t -> int
+(** Mutation counter: incremented by every {!add_edge} / {!remove_edge} (and
+    hence {!isolate}) that actually changes the edge set.  Two reads returning
+    the same value bracket a window in which the graph was not mutated. *)
+
+val to_csr : t -> csr
+(** Build a fresh CSR snapshot, bypassing the cache (= {!Csr.of_graph}).
+    Neighbor lists are sorted ascending, so the snapshot is canonical for a
+    given edge set. *)
+
+val snapshot : t -> csr
+(** The memoized CSR snapshot: rebuilt only when {!version} has moved since
+    the previous call, otherwise the cached (physically equal) snapshot is
+    returned.  Cache behavior is observable through the [csr.snapshot_hits] /
+    [csr.snapshot_builds] metrics.  The result is immutable and remains valid
+    after further mutations (they simply stop sharing). *)
 
 val pp : Format.formatter -> t -> unit
 (** Debug printer: node/edge counts and adjacency of small graphs. *)

@@ -90,23 +90,40 @@ let maximum ~left ~right ~adj =
   Array.iteri (fun i j -> if j >= 0 then out := (left.(i), right.(j)) :: !out) match_l;
   Array.of_list (List.rev !out)
 
+(* Sorted neighbor arrays make the result canonical: it depends only on the
+   edge set, not on adjacency-hashtable iteration order.  The distributed
+   router relies on this to reproduce the centralized choice from local
+   knowledge. *)
+let sorted_neighbors g u =
+  let a = Array.make (Graph.degree g u) 0 in
+  let i = ref 0 in
+  Graph.iter_neighbors g u (fun x ->
+      a.(!i) <- x;
+      incr i);
+  Array.sort compare a;
+  a
+
 let neighborhood_matching g u v =
-  (* Sorted neighbor lists make the result canonical: it depends only on the
-     edge set, not on adjacency-hashtable iteration order.  The distributed
-     router relies on this to reproduce the centralized choice from local
-     knowledge. *)
-  let nu = List.sort compare (Graph.neighbors g u) in
-  let nv = List.sort compare (Graph.neighbors g v) in
-  let in_nv = Hashtbl.create (List.length nv) in
-  List.iter (fun x -> Hashtbl.replace in_nv x ()) nv;
-  let in_nu = Hashtbl.create (List.length nu) in
-  List.iter (fun x -> Hashtbl.replace in_nu x ()) nu;
-  let commons = List.filter (fun x -> Hashtbl.mem in_nv x && x <> v && x <> u) nu in
+  let nu = sorted_neighbors g u in
+  let nv = sorted_neighbors g v in
+  let in_nv = Hashtbl.create (Array.length nv) in
+  Array.iter (fun x -> Hashtbl.replace in_nv x ()) nv;
+  let in_nu = Hashtbl.create (Array.length nu) in
+  Array.iter (fun x -> Hashtbl.replace in_nu x ()) nu;
+  let commons =
+    List.filter (fun x -> Hashtbl.mem in_nv x && x <> v && x <> u) (Array.to_list nu)
+  in
   let left =
-    Array.of_list (List.filter (fun x -> (not (Hashtbl.mem in_nv x)) && x <> v && x <> u) nu)
+    Array.of_list
+      (List.filter
+         (fun x -> (not (Hashtbl.mem in_nv x)) && x <> v && x <> u)
+         (Array.to_list nu))
   in
   let right =
-    Array.of_list (List.filter (fun x -> (not (Hashtbl.mem in_nu x)) && x <> u && x <> v) nv)
+    Array.of_list
+      (List.filter
+         (fun x -> (not (Hashtbl.mem in_nu x)) && x <> u && x <> v)
+         (Array.to_list nv))
   in
   let matched = maximum ~left ~right ~adj:(fun x y -> Graph.mem_edge g x y) in
   (commons, matched)

@@ -6,7 +6,7 @@ type t = {
 }
 
 let of_sp_router ~name ~graph ~spanner =
-  let csr = Csr.of_graph spanner in
+  let csr = Csr.snapshot spanner in
   let route_matching rng pairs =
     Array.map
       (fun (u, v) ->

@@ -38,7 +38,7 @@ type estimate = {
 
 let estimate ?(trials = 20) ~alpha ~beta (dc : Dc.t) rng =
   let g = dc.Dc.graph in
-  let csr = Csr.of_graph g in
+  let csr = Csr.snapshot g in
   let n = Graph.n g in
   let sample_routing i =
     let shape = i mod 4 in

@@ -58,7 +58,7 @@ let candidates_for t g u v =
 
 let router t g rng pairs =
   let h = t.spanner in
-  let csr = lazy (Csr.of_graph h) in
+  let csr = lazy (Csr.snapshot h) in
   let reverse p =
     let len = Array.length p in
     Array.init len (fun i -> p.(len - 1 - i))

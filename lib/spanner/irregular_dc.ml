@@ -44,7 +44,7 @@ let build ?(repair = true) rng g =
 
 let to_dc ?(detour_cap = 64) t g =
   let h = t.spanner in
-  let csr = lazy (Csr.of_graph h) in
+  let csr = lazy (Csr.snapshot h) in
   let route_matching rng pairs =
     Array.map
       (fun (u, v) ->

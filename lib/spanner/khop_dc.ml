@@ -26,7 +26,7 @@ let build ?rho ~k rng g =
        (it may reinsert a few extra edges, never too few). *)
     let reinserted = ref 0 in
     Trace.with_span ~name:"spanner.repair" (fun () ->
-        let csr = Csr.of_graph sampled in
+        let csr = Csr.snapshot sampled in
         Graph.iter_edges g (fun u v ->
             if not (Graph.mem_edge spanner u v) then begin
               let d = Bfs.distance_bounded csr u v ~bound in
@@ -39,7 +39,7 @@ let build ?rho ~k rng g =
   end
 
 let router t rng pairs =
-  let csr = Csr.of_graph t.spanner in
+  let csr = Csr.snapshot t.spanner in
   Array.map
     (fun (u, v) ->
       if Graph.mem_edge t.spanner u v then [| u; v |]

@@ -30,5 +30,21 @@ val theorem2_ok : t -> bool
 (** Premises of Theorem 2: {!theorem3_ok} plus measured expansion within the
     allowance. *)
 
+type requirement = Any | Expander | Theorem3 | Theorem2
+(** The premise a construction assumes of its input: nothing, measured
+    spectral expansion, the Theorem 3 density/regularity regime, or the full
+    Theorem 2 regime.  The construction registry ({!Construction}) stores one
+    of these per entry so that every consumer checks premises the same way. *)
+
+val requirement_text : requirement -> string
+(** One-line human description of the requirement (registry listings). *)
+
+val satisfied : requirement -> t -> bool
+(** Whether the measured premises meet the requirement ([Any] always does). *)
+
+val violations : requirement -> t -> string list
+(** The warnings relevant to this requirement (empty when {!satisfied}). *)
+
 val describe : t -> string list
-(** Human-readable warnings (empty when everything holds). *)
+(** Human-readable warnings against the strongest (Theorem 2) requirement —
+    [violations Theorem2]. *)

@@ -94,7 +94,7 @@ let build ?(thresholds = Scaled) ?(repair = true) rng g =
 
 let router t ~detour_cap rng pairs =
   let h = t.spanner in
-  let csr = lazy (Csr.of_graph h) in
+  let csr = lazy (Csr.snapshot h) in
   Array.map
     (fun (u, v) ->
       if Graph.mem_edge h u v then [| u; v |]

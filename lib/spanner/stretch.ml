@@ -25,7 +25,7 @@ let removed_by_source g h =
   done;
   (Array.of_list !groups, !count)
 
-let snapshot_of h = function Some c -> c | None -> Csr.of_graph h
+let snapshot_of h = function Some c -> c | None -> Csr.snapshot h
 
 (* worst detour over the groups in [groups.(lo .. lo+len-1)], answered by one
    batched sweep; [max_int] as soon as some edge is unreachable within
@@ -88,7 +88,7 @@ let exact_parallel ?domains ?(bound = max_int) ?snapshot g h =
 let exact_bounded ?snapshot g h ~bound = exact_impl ?snapshot g h ~bound
 
 let exact_reference ?(bound = max_int) g h =
-  let hc = Csr.of_graph h in
+  let hc = Csr.snapshot h in
   let worst = ref 1 in
   (try
      Graph.iter_edges g (fun u v ->
@@ -104,7 +104,7 @@ let exact_reference ?(bound = max_int) g h =
   !worst
 
 let exact_grouped ?(bound = max_int) g h =
-  let hc = Csr.of_graph h in
+  let hc = Csr.snapshot h in
   let groups, count = removed_by_source g h in
   if count = 0 then 1
   else begin
@@ -131,7 +131,7 @@ let is_three_spanner g h = exact_bounded g h ~bound:3 <= 3
 
 let sampled_pairs ?snapshots rng g h ~samples =
   let gc, hc =
-    match snapshots with Some p -> p | None -> (Csr.of_graph g, Csr.of_graph h)
+    match snapshots with Some p -> p | None -> (Csr.snapshot g, Csr.snapshot h)
   in
   let n = Graph.n g in
   if n < 2 then 1.0
@@ -155,7 +155,7 @@ let sampled_pairs ?snapshots rng g h ~samples =
   end
 
 let violations g h ~bound =
-  let hc = Csr.of_graph h in
+  let hc = Csr.snapshot h in
   let groups, _ = removed_by_source g h in
   let bad = ref [] in
   let ng = Array.length groups in

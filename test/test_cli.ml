@@ -69,6 +69,40 @@ let test_faults_bad_mode_exits_123 () =
   check Alcotest.int "unknown fault mode" 123
     (run_cli "faults --family torus -n 25 --fail-mode cosmic")
 
+let test_unknown_algorithm_exits_123 () =
+  check Alcotest.int "unknown algorithm" 123
+    (run_cli "spanner --family torus -n 25 --algorithm bogus")
+
+(* capture stdout of a CLI invocation *)
+let read_cli args =
+  let out = Filename.temp_file "dcs_cli_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let code = Sys.command (Printf.sprintf "%s %s >%s 2>/dev/null" cli args out) in
+      let ic = open_in out in
+      let body = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (code, body))
+
+let body_contains body needle =
+  let nl = String.length needle in
+  let rec find i = i + nl <= String.length body && (String.sub body i nl = needle || find (i + 1)) in
+  find 0
+
+let test_list_names_every_construction () =
+  let code, body = read_cli "list" in
+  check Alcotest.int "list exits 0" 0 code;
+  List.iter
+    (fun name ->
+      check Alcotest.bool (Printf.sprintf "list shows %S" name) true (body_contains body name))
+    Construction.names
+
+let test_list_json_is_registry () =
+  let code, body = read_cli "list --json" in
+  check Alcotest.int "list --json exits 0" 0 code;
+  check Alcotest.string "payload is Construction.to_json" (Construction.to_json ()) body
+
 let () =
   Alcotest.run "cli"
     [
@@ -79,6 +113,12 @@ let () =
           Alcotest.test_case "malformed problem" `Quick test_malformed_problem_exits_123;
           Alcotest.test_case "wellformed graph" `Quick test_wellformed_graph_exits_0;
           Alcotest.test_case "bad fault mode" `Quick test_faults_bad_mode_exits_123;
+          Alcotest.test_case "unknown algorithm" `Quick test_unknown_algorithm_exits_123;
+        ] );
+      ( "list",
+        [
+          Alcotest.test_case "names every construction" `Quick test_list_names_every_construction;
+          Alcotest.test_case "json matches registry" `Quick test_list_json_is_registry;
         ] );
       ("faults", [ Alcotest.test_case "json report" `Quick test_faults_json_report ]);
     ]

@@ -19,7 +19,7 @@ let random_subgraph seed keep g =
 (* ---- Bfs_batch vs scalar BFS ---- *)
 
 let test_batch_empty_and_invalid () =
-  let g = Csr.of_graph (Generators.cycle 5) in
+  let g = Csr.snapshot (Generators.cycle 5) in
   check Alcotest.int "no sources, no rows" 0 (Array.length (Bfs_batch.run g [||]));
   let too_many = Array.make (Bfs_batch.width + 1) 0 in
   let expects_invalid name f =
@@ -30,7 +30,7 @@ let test_batch_empty_and_invalid () =
   expects_invalid "negative source" (fun () -> Bfs_batch.run g [| -1 |])
 
 let test_batch_duplicates () =
-  let g = Csr.of_graph (Generators.torus 4 4) in
+  let g = Csr.snapshot (Generators.torus 4 4) in
   let rows = Bfs_batch.run g [| 3; 3; 3 |] in
   let d = Bfs.distances g 3 in
   Array.iter (fun row -> check Alcotest.(array int) "duplicated source rows" d row) rows
@@ -52,7 +52,7 @@ let prop_batch_matches_scalar =
     QCheck.(triple small_int (int_range 2 60) (int_range 0 100))
     (fun (seed, n, pct) ->
       (* pct sweeps from almost surely disconnected to dense *)
-      let g = Csr.of_graph (random_graph seed n (float_of_int pct /. 100.0 *. 0.2)) in
+      let g = Csr.snapshot (random_graph seed n (float_of_int pct /. 100.0 *. 0.2)) in
       let k = 1 + (seed mod min n Bfs_batch.width) in
       let sources = Array.init k (fun i -> (seed + (i * 7)) mod n) in
       let rows = Bfs_batch.run g sources in
@@ -62,7 +62,7 @@ let prop_batch_bounded_matches_scalar =
   QCheck.Test.make ~name:"bounded batched BFS = scalar bounded distances" ~count:60
     QCheck.(triple small_int (int_range 2 60) (int_range 0 5))
     (fun (seed, n, bound) ->
-      let g = Csr.of_graph (random_graph seed n 0.08) in
+      let g = Csr.snapshot (random_graph seed n 0.08) in
       let k = 1 + (seed mod min n Bfs_batch.width) in
       let sources = Array.init k (fun i -> (seed + (i * 3)) mod n) in
       let rows = Bfs_batch.run ~bound g sources in
@@ -72,7 +72,7 @@ let prop_all_distances_matches_scalar =
   QCheck.Test.make ~name:"all_distances(_parallel) = per-source scalar BFS" ~count:30
     QCheck.(pair small_int (int_range 1 80))
     (fun (seed, n) ->
-      let g = Csr.of_graph (random_graph seed n 0.1) in
+      let g = Csr.snapshot (random_graph seed n 0.1) in
       let want = Array.init n (Bfs.distances g) in
       Bfs.all_distances g = want && Bfs.all_distances_parallel ~domains:3 g = want)
 
@@ -87,7 +87,7 @@ let prop_exact_matches_reference =
       let want = Stretch.exact_reference g h in
       Stretch.exact g h = want
       && Stretch.exact_parallel ~domains:4 g h = want
-      && Stretch.exact ~snapshot:(Csr.of_graph h) g h = want)
+      && Stretch.exact ~snapshot:(Csr.snapshot h) g h = want)
 
 let prop_exact_bounded_matches_reference =
   QCheck.Test.make ~name:"bounded certification = bounded reference" ~count:50
@@ -108,7 +108,7 @@ let prop_violations_consistent =
       let g = random_graph (seed + 1) n 0.2 in
       let h = random_subgraph (seed + 9) 0.5 g in
       let bound = 3 in
-      let hc = Csr.of_graph h in
+      let hc = Csr.snapshot h in
       let want = ref [] in
       Graph.iter_edges g (fun u v ->
           if not (Graph.mem_edge h u v) then begin
@@ -142,7 +142,7 @@ let prop_sampled_pairs_snapshot_invariant =
       let a = Stretch.sampled_pairs (Prng.create seed) g h ~samples:50 in
       let b =
         Stretch.sampled_pairs
-          ~snapshots:(Csr.of_graph g, Csr.of_graph h)
+          ~snapshots:(Csr.snapshot g, Csr.snapshot h)
           (Prng.create seed) g h ~samples:50
       in
       a = b)
@@ -150,19 +150,19 @@ let prop_sampled_pairs_snapshot_invariant =
 (* ---- disconnection signalling ---- *)
 
 let test_eccentricity_signals () =
-  let c = Csr.of_graph (Generators.path 6) in
+  let c = Csr.snapshot (Generators.path 6) in
   check Alcotest.int "path end" 5 (Bfs.eccentricity c 0);
   let g = Generators.path 6 in
   ignore (Graph.isolate g 5);
-  let c = Csr.of_graph g in
+  let c = Csr.snapshot g in
   check Alcotest.int "disconnected = max_int" max_int (Bfs.eccentricity c 0)
 
 let test_diameter_signals () =
-  let c = Csr.of_graph (Generators.cycle 9) in
+  let c = Csr.snapshot (Generators.cycle 9) in
   check Alcotest.int "cycle diameter" 4 (Bfs.diameter_sampled c (Prng.create 1) ~samples:20);
   let g = Generators.cycle 9 in
   ignore (Graph.isolate g 0);
-  let c = Csr.of_graph g in
+  let c = Csr.snapshot g in
   check Alcotest.int "disconnected = max_int" max_int
     (Bfs.diameter_sampled c (Prng.create 1) ~samples:20)
 
@@ -196,7 +196,7 @@ let test_scratch_resizes () =
   (* growing then shrinking the graph exercises realloc and reuse paths *)
   List.iter
     (fun n ->
-      let c = Csr.of_graph (Generators.cycle n) in
+      let c = Csr.snapshot (Generators.cycle n) in
       check Alcotest.int "cycle distance" (n / 2) (Bfs.distance c 0 (n / 2)))
     [ 4; 64; 8; 128; 6 ]
 

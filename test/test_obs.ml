@@ -294,6 +294,21 @@ let test_disabled_mode_emits_nothing () =
       let count, _, _, _ = Metrics.histo_stats h in
       check Alcotest.int "histo untouched" 0 count)
 
+let test_snapshot_counters () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      Metrics.reset ();
+      let hits = Metrics.counter "csr.snapshot_hits" in
+      let builds = Metrics.counter "csr.snapshot_builds" in
+      let g = Generators.torus 5 5 in
+      ignore (Csr.snapshot g);
+      ignore (Csr.snapshot g);
+      ignore (Csr.snapshot g);
+      check Alcotest.int "one build for a stable graph" 1 (Metrics.counter_value builds);
+      check Alcotest.int "repeat snapshots hit" 2 (Metrics.counter_value hits);
+      ignore (Graph.remove_edge g 0 1);
+      ignore (Csr.snapshot g);
+      check Alcotest.int "mutation forces a rebuild" 2 (Metrics.counter_value builds))
+
 (* ---- report formats the dumps share their escaping with -------------- *)
 
 let contains ~sub s =
@@ -348,6 +363,7 @@ let () =
           Alcotest.test_case "histo stats" `Quick test_histo_stats;
           Alcotest.test_case "json folds shards" `Quick test_metrics_json_folds_shards;
           Alcotest.test_case "disabled emits nothing" `Quick test_disabled_mode_emits_nothing;
+          Alcotest.test_case "snapshot hit/build counters" `Quick test_snapshot_counters;
         ] );
       ( "report",
         [

@@ -1,0 +1,157 @@
+(* Tests for the construction registry: the single source every layer (CLI
+   parsing, premise validation, bench sweeps, edge normalization) reads. *)
+
+let check = Alcotest.check
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---- lookup ---- *)
+
+let test_find_canonical () =
+  List.iter
+    (fun name ->
+      match Construction.find name with
+      | Ok c -> check Alcotest.string "canonical resolves to itself" name c.Construction.name
+      | Error e -> Alcotest.failf "find %S: %s" name e)
+    Construction.names
+
+let test_find_alias () =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun alias ->
+          match Construction.find alias with
+          | Ok c' ->
+              check Alcotest.string
+                (Printf.sprintf "alias %S resolves" alias)
+                c.Construction.name c'.Construction.name
+          | Error e -> Alcotest.failf "alias %S: %s" alias e)
+        c.Construction.aliases)
+    Construction.all
+
+let test_find_case_insensitive () =
+  match Construction.find "THEOREM2" with
+  | Ok c -> check Alcotest.string "uppercase resolves" "theorem2" c.Construction.name
+  | Error e -> Alcotest.fail e
+
+let test_find_unknown_names_every_alias () =
+  (* the "expected ..." error message is generated from the registry: it must
+     name every canonical name AND every alias, so a user who typed a stale
+     spelling sees the accepted one *)
+  match Construction.find "no-such-construction" with
+  | Ok _ -> Alcotest.fail "unknown name resolved"
+  | Error msg ->
+      check Alcotest.bool "mentions the query" true
+        (contains ~needle:"no-such-construction" msg);
+      List.iter
+        (fun name ->
+          check Alcotest.bool
+            (Printf.sprintf "error message names %S" name)
+            true (contains ~needle:name msg))
+        Construction.all_names
+
+let test_find_exn_raises () =
+  Alcotest.check_raises "find_exn unknown"
+    (Invalid_argument
+       (match Construction.find "bogus" with
+       | Error msg -> "Construction.find_exn: " ^ msg
+       | Ok _ -> assert false))
+    (fun () -> ignore (Construction.find_exn "bogus"))
+
+(* ---- registry invariants ---- *)
+
+let test_no_collisions () =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let k = String.lowercase_ascii s in
+      check Alcotest.bool (Printf.sprintf "%S unique" s) false (Hashtbl.mem seen k);
+      Hashtbl.replace seen k ())
+    Construction.all_names
+
+let test_metadata_nonempty () =
+  List.iter
+    (fun c ->
+      check Alcotest.bool (c.Construction.name ^ " has a guarantee") true
+        (String.length c.Construction.guarantee > 0);
+      check Alcotest.bool (c.Construction.name ^ " has a reference") true
+        (String.length c.Construction.reference > 0);
+      check Alcotest.bool (c.Construction.name ^ " premise text") true
+        (String.length (Premise.requirement_text c.Construction.premise) > 0);
+      check Alcotest.bool (c.Construction.name ^ " edge exponent sane") true
+        (c.Construction.edge_exponent >= 1.0 && c.Construction.edge_exponent <= 2.0))
+    Construction.all
+
+let test_accepting_subset () =
+  let g = Generators.random_regular (Prng.create 11) 150 40 in
+  let p = Premise.check g in
+  let acc = Construction.accepting p in
+  check Alcotest.bool "accepting is non-empty (Any entries)" true (List.length acc > 0);
+  List.iter
+    (fun c -> check Alcotest.bool (c.Construction.name ^ " accepted") true (Construction.premise_ok c p))
+    acc;
+  (* every [Any] construction accepts every graph *)
+  List.iter
+    (fun c ->
+      if c.Construction.premise = Premise.Any then
+        check Alcotest.bool (c.Construction.name ^ " (Any) in accepting") true
+          (List.exists (fun c' -> c'.Construction.name = c.Construction.name) acc))
+    Construction.all
+
+let test_json_mentions_every_name () =
+  let json = Construction.to_json () in
+  List.iter
+    (fun name ->
+      check Alcotest.bool (Printf.sprintf "json names %S" name) true
+        (contains ~needle:(Printf.sprintf "\"name\":\"%s\"" name) json))
+    Construction.names
+
+(* ---- building through the registry ---- *)
+
+let test_build_smoke () =
+  let g = Generators.random_regular (Prng.create 21) 64 24 in
+  List.iter
+    (fun c ->
+      let dc = Construction.build c (Prng.create 22) g in
+      check Alcotest.bool
+        (c.Construction.name ^ " spanner is a subgraph")
+        true
+        (Graph.is_subgraph dc.Dc.spanner ~of_:g))
+    Construction.all
+
+let test_premise_warnings_any_empty () =
+  let g = Generators.ring_of_cliques 4 10 in
+  List.iter
+    (fun c ->
+      if c.Construction.premise = Premise.Any then
+        check Alcotest.(list string) (c.Construction.name ^ " no warnings") []
+          (Construction.premise_warnings c g))
+    Construction.all
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "lookup",
+        [
+          Alcotest.test_case "canonical names" `Quick test_find_canonical;
+          Alcotest.test_case "aliases" `Quick test_find_alias;
+          Alcotest.test_case "case insensitive" `Quick test_find_case_insensitive;
+          Alcotest.test_case "unknown names every alias" `Quick test_find_unknown_names_every_alias;
+          Alcotest.test_case "find_exn raises" `Quick test_find_exn_raises;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "no name collisions" `Quick test_no_collisions;
+          Alcotest.test_case "metadata non-empty" `Quick test_metadata_nonempty;
+          Alcotest.test_case "accepting filter" `Quick test_accepting_subset;
+          Alcotest.test_case "json covers registry" `Quick test_json_mentions_every_name;
+        ] );
+      ( "build",
+        [
+          Alcotest.test_case "every entry builds" `Quick test_build_smoke;
+          Alcotest.test_case "Any premises never warn" `Quick test_premise_warnings_any_empty;
+        ] );
+    ]
