@@ -1,0 +1,74 @@
+(* dcs_lint — the repo's self-hosted static analyzer (see HACKING, "Static
+   analysis").  Scans OCaml sources with compiler-libs parsetree passes and
+   exits 1 when any non-allowlisted finding remains. *)
+
+open Cmdliner
+
+let paths_arg =
+  let doc = "Files or directories to lint (default: lib bin bench)." in
+  Arg.(value & pos_all string [ "lib"; "bin"; "bench" ] & info [] ~docv:"PATH" ~doc)
+
+let json_arg =
+  let doc = "Emit the machine-readable JSON report instead of the table." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let allow_arg =
+  let doc =
+    "Allowlist file (one '<pass-id> <path-suffix> [message substring]' per line). When \
+     omitted, ./lint.allow is used if present."
+  in
+  Arg.(value & opt (some string) None & info [ "allow" ] ~docv:"FILE" ~doc)
+
+let list_passes_arg =
+  let doc = "List the registered passes and exit." in
+  Arg.(value & flag & info [ "list-passes" ] ~doc)
+
+let list_passes () =
+  List.iter
+    (fun p ->
+      Printf.printf "%-15s %s\n    %s\n" p.Lint_passes.id p.Lint_passes.title
+        p.Lint_passes.doc)
+    Lint_passes.all;
+  0
+
+let load_allow = function
+  | Some path -> (
+      match Lint_allow.load path with
+      | Ok allow -> Ok allow
+      | Error msg -> Error (path ^ ": " ^ msg))
+  | None ->
+      if Sys.file_exists "lint.allow" then
+        match Lint_allow.load "lint.allow" with
+        | Ok allow -> Ok allow
+        | Error msg -> Error ("lint.allow: " ^ msg)
+      else Ok Lint_allow.empty
+
+let main paths json allow_path list_passes_flag =
+  if list_passes_flag then list_passes ()
+  else
+    match load_allow allow_path with
+    | Error msg ->
+        prerr_endline ("dcs_lint: " ^ msg);
+        2
+    | Ok allow ->
+        let result = Lint_driver.run ~allow ~roots:paths () in
+        print_string (if json then Lint_driver.to_json result else Lint_driver.to_table result);
+        Lint_driver.exit_code result
+
+let cmd =
+  let doc = "enforce the repo's kernel, parallelism and error-handling invariants" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Multi-pass static analysis over the project's own OCaml sources: banned APIs \
+         (failwith, stray printing, raw CSR builds), unsafe-access audit, parallelism \
+         hygiene, interface coverage and polymorphic-compare detection.  Exit status is 0 \
+         when clean, 1 when findings remain after the allowlist.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "dcs_lint" ~version:"1.0.0" ~doc ~man)
+    Term.(const main $ paths_arg $ json_arg $ allow_arg $ list_passes_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -127,7 +127,7 @@ let run ~seed g pairs =
       (fun req ->
         match Hashtbl.find_opt answer_map req with
         | Some p -> p
-        | None -> failwith "Dist_expander.run: request not answered")
+        | None -> invalid_arg "Dist_expander.run: request not answered")
       pairs
   in
   { spanner; routing; rounds = stats.Local_model.rounds; messages = stats.Local_model.messages }

@@ -74,30 +74,39 @@ let run ?(bound = max_int) (g : Csr.t) sources =
       incr level;
       (* scatter: OR each frontier node's source mask into its neighbors *)
       for v = 0 to n - 1 do
-        let fv = frontier.(v) in
+        (* SAFETY: v < n <= length of the arena arrays ([scratch n] grows
+           them); xadj has n+1 entries so v+1 is in bounds; CSR construction
+           bounds every xadj value by length adjncy and every adjncy entry
+           by n (Graph.snapshot builds both from validated edges). *)
+        let fv = Array.unsafe_get frontier v in
         if fv <> 0 then begin
-          let stop = xadj.(v + 1) in
-          for i = xadj.(v) to stop - 1 do
-            let u = adjncy.(i) in
-            next.(u) <- next.(u) lor fv
+          let start = Array.unsafe_get xadj v in
+          let stop = Array.unsafe_get xadj (v + 1) in
+          for i = start to stop - 1 do
+            let u = Array.unsafe_get adjncy i in
+            Array.unsafe_set next u (Array.unsafe_get next u lor fv)
           done;
-          words := !words + (stop - xadj.(v))
+          words := !words + (stop - start)
         end
       done;
       (* gather: freshly-reached bits settle at this level and form the next
          frontier *)
       active := false;
       for u = 0 to n - 1 do
-        let fresh = next.(u) land lnot seen.(u) in
-        next.(u) <- 0;
-        frontier.(u) <- fresh;
+        (* SAFETY: u < n <= length of seen/frontier/next (arena arrays). *)
+        let fresh = Array.unsafe_get next u land lnot (Array.unsafe_get seen u) in
+        Array.unsafe_set next u 0;
+        Array.unsafe_set frontier u fresh;
         if fresh <> 0 then begin
           active := true;
-          seen.(u) <- seen.(u) lor fresh;
+          Array.unsafe_set seen u (Array.unsafe_get seen u lor fresh);
           let b = ref fresh in
+          (* SAFETY: masks only ever hold bits 0..k-1 (seeded that way and
+             OR/AND preserve it), so bit_index low < k = length dist, and
+             every dist row was allocated with n entries (u < n). *)
           while !b <> 0 do
             let low = !b land - !b in
-            (dist.(bit_index low)).(u) <- !level;
+            Array.unsafe_set (Array.unsafe_get dist (bit_index low)) u !level;
             incr visited;
             b := !b lxor low
           done

@@ -4,9 +4,15 @@ let of_graph g =
   let n = Graph.n g in
   let words = (n + 62) / 63 in
   let rows = Array.init n (fun _ -> Array.make words 0) in
+  let set u v =
+    (* SAFETY: Graph.iter_edges only yields endpoints in [0, n), so u indexes
+       rows (length n) and v / 63 < (n + 62) / 63 = words (row length). *)
+    let r = Array.unsafe_get rows u in
+    Array.unsafe_set r (v / 63) (Array.unsafe_get r (v / 63) lor (1 lsl (v mod 63)))
+  in
   Graph.iter_edges g (fun u v ->
-      rows.(u).(v / 63) <- rows.(u).(v / 63) lor (1 lsl (v mod 63));
-      rows.(v).(u / 63) <- rows.(v).(u / 63) lor (1 lsl (u mod 63)));
+      set u v;
+      set v u);
   { words; rows }
 
 let popcount x =
@@ -14,21 +20,26 @@ let popcount x =
   go x 0
 
 let common_count t u z =
+  (* the checked row lookups validate u and z; the word loop below stays
+     within both rows, which [of_graph] allocated with [t.words] entries *)
   let ru = t.rows.(u) and rz = t.rows.(z) in
   let acc = ref 0 in
   for i = 0 to t.words - 1 do
-    acc := !acc + popcount (ru.(i) land rz.(i))
+    (* SAFETY: i < t.words = length of every row. *)
+    acc := !acc + popcount (Array.unsafe_get ru i land Array.unsafe_get rz i)
   done;
   !acc
 
 let common_count_at_least t u z k =
   if k <= 0 then true
   else begin
+    (* checked row lookups validate u and z, as in [common_count] *)
     let ru = t.rows.(u) and rz = t.rows.(z) in
     let acc = ref 0 in
     let i = ref 0 in
     while !acc < k && !i < t.words do
-      acc := !acc + popcount (ru.(!i) land rz.(!i));
+      (* SAFETY: !i < t.words = length of every row. *)
+      acc := !acc + popcount (Array.unsafe_get ru !i land Array.unsafe_get rz !i);
       incr i
     done;
     !acc >= k

@@ -11,16 +11,22 @@ let m t = Array.length t.adjncy / 2
 let degree t v = t.xadj.(v + 1) - t.xadj.(v)
 
 let iter_neighbors t v f =
+  (* the checked xadj reads validate v before the unsafe adjncy scan *)
   for i = t.xadj.(v) to t.xadj.(v + 1) - 1 do
-    f t.adjncy.(i)
+    (* SAFETY: CSR construction bounds every xadj value by length adjncy,
+       so i < length adjncy throughout the row. *)
+    f (Array.unsafe_get t.adjncy i)
   done
 
 let mem_edge t u v =
+  (* the checked xadj reads validate u before the unsafe binary search *)
   let lo = ref t.xadj.(u) and hi = ref (t.xadj.(u + 1) - 1) in
   let found = ref false in
   while (not !found) && !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let x = t.adjncy.(mid) in
+    (* SAFETY: xadj.(u) <= lo <= mid <= hi < xadj.(u+1) <= length adjncy,
+       by the CSR construction invariant. *)
+    let x = Array.unsafe_get t.adjncy mid in
     if x = v then found := true else if x < v then lo := mid + 1 else hi := mid - 1
   done;
   !found

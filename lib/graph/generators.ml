@@ -176,7 +176,7 @@ let rec random_regular rng n d =
   let rec fix u v =
     incr attempts;
     if !attempts > budget then
-      failwith "Generators.random_regular: repair budget exhausted (graph too dense?)";
+      invalid_arg "Generators.random_regular: repair budget exhausted (graph too dense?)";
     let x, y = Edge_pool.sample pool rng in
     if u = v then begin
       (* Self-loop: u needs two new incidences.  Replace (x,y) by (u,x),(u,y). *)

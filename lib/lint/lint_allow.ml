@@ -1,0 +1,78 @@
+type entry = { pass : string; path : string; substring : string }
+
+type t = entry list
+
+let empty = []
+
+(* A suffix match on '/'-separated segments, so "lib/graph/csr.ml" matches
+   both "lib/graph/csr.ml" and "../lib/graph/csr.ml" regardless of the
+   directory the linter was started from. *)
+let segments path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
+
+let path_matches ~pattern path =
+  let p = segments pattern and s = segments path in
+  let lp = List.length p and ls = List.length s in
+  lp <= ls
+  &&
+  let tail = List.filteri (fun i _ -> i >= ls - lp) s in
+  List.equal String.equal p tail
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  ||
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let matches t (f : Lint_finding.t) =
+  List.exists
+    (fun e ->
+      (e.pass = "*" || e.pass = f.pass)
+      && path_matches ~pattern:e.path f.file
+      && contains ~needle:e.substring f.msg)
+    t
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Ok None
+  | [ pass; path ] -> Ok (Some { pass; path; substring = "" })
+  | pass :: path :: rest -> Ok (Some { pass; path; substring = String.concat " " rest })
+  | [ _ ] -> Error "expected '<pass-id> <path-suffix> [message substring]'"
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line line with
+        | Ok None -> go (i + 1) acc rest
+        | Ok (Some e) -> go (i + 1) (e :: acc) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+  in
+  go 1 [] lines
+
+let to_string t =
+  String.concat ""
+    (List.map
+       (fun e ->
+         if e.substring = "" then Printf.sprintf "%s %s\n" e.pass e.path
+         else Printf.sprintf "%s %s %s\n" e.pass e.path e.substring)
+       t)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> (
+      match of_string text with
+      | Ok t -> Ok t
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,27 @@
+(** The [lint.allow] suppression list.
+
+    One entry per line: [<pass-id> <path-suffix> [message substring]].
+    [#] starts a comment; blank lines are ignored.  A finding is suppressed
+    when its pass id equals the entry's (or the entry is ["*"]), its file
+    path ends with the entry's path (whole '/'-segments), and — if given —
+    the entry's trailing words appear verbatim inside the message.  Matching
+    on path suffix + message rather than line numbers keeps entries stable
+    across unrelated edits; the list is meant to stay (near-)empty. *)
+
+type entry = { pass : string; path : string; substring : string }
+
+type t = entry list
+
+val empty : t
+
+val matches : t -> Lint_finding.t -> bool
+
+val of_string : string -> (t, string) result
+
+val to_string : t -> string
+(** Canonical rendering; [of_string (to_string t) = Ok t]. *)
+
+val load : string -> (t, string) result
+
+val path_matches : pattern:string -> string -> bool
+(** Exposed for the driver's built-in scoping rules (same suffix logic). *)

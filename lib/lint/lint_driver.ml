@@ -1,0 +1,125 @@
+type result = {
+  findings : Lint_finding.t list;
+  files_scanned : int;
+  suppressed : int;
+}
+
+(* Deterministic walk: sorted entries, skip dot-entries and build dirs, so
+   the findings order (and thus the JSON artifact) is stable across runs. *)
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if String.length entry = 0 || entry.[0] = '.' || entry = "_build" then acc
+           else walk (Filename.concat path entry) acc)
+         acc
+  else path :: acc
+
+let collect roots =
+  let all =
+    List.fold_left
+      (fun acc root -> if Sys.file_exists root then walk root acc else acc)
+      [] roots
+  in
+  List.sort compare all
+
+let ml_files files =
+  List.filter (fun p -> Filename.check_suffix p ".ml") files
+
+(* Reachability for the par-hygiene pass: start from modules whose source
+   mentions Parallel./Domain. and close over lexical module references
+   (Lint_source.referenced_modules), restricted to modules in the scanned
+   set.  Over-approximates: a module is audited if any parallel-touching
+   module could call into it. *)
+let parallel_closure sources =
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun src -> Hashtbl.replace by_name (Lint_source.module_name src) src)
+    sources;
+  let refs src =
+    List.filter (Hashtbl.mem by_name) (Lint_source.referenced_modules src)
+  in
+  let reachable = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem reachable name) then begin
+      Hashtbl.replace reachable name ();
+      match Hashtbl.find_opt by_name name with
+      | Some src -> List.iter visit (refs src)
+      | None -> ()
+    end
+  in
+  List.iter
+    (fun src ->
+      let mentions = Lint_source.referenced_modules src in
+      if List.mem "Parallel" mentions || List.mem "Domain" mentions then
+        visit (Lint_source.module_name src))
+    sources;
+  fun name -> Hashtbl.mem reachable name
+
+let run ?(allow = Lint_allow.empty) ?(passes = Lint_passes.all) ~roots () =
+  let missing =
+    List.filter_map
+      (fun root ->
+        if Sys.file_exists root then None
+        else
+          Some
+            (Lint_finding.make ~pass:"parse" ~file:root ~line:1 ~col:0
+               ~severity:Lint_finding.Error "no such file or directory"))
+      roots
+  in
+  let files = collect roots in
+  let file_set = Hashtbl.create 256 in
+  List.iter (fun f -> Hashtbl.replace file_set f ()) files;
+  let parse_failures = ref [] in
+  let sources =
+    List.filter_map
+      (fun path ->
+        match Lint_source.load path with
+        | Ok src -> Some src
+        | Error msg ->
+            parse_failures :=
+              Lint_finding.make ~pass:"parse" ~file:path ~line:1 ~col:0
+                ~severity:Lint_finding.Error msg
+              :: !parse_failures;
+            None)
+      (ml_files files)
+  in
+  let ctx =
+    {
+      Lint_passes.file_exists = Hashtbl.mem file_set;
+      parallel_reachable = parallel_closure sources;
+    }
+  in
+  let findings =
+    List.concat_map
+      (fun src ->
+        match Lint_source.ast src with
+        | Error (msg, line) ->
+            [
+              Lint_finding.make ~pass:"parse" ~file:src.Lint_source.path ~line ~col:0
+                ~severity:Lint_finding.Error msg;
+            ]
+        | Ok _ -> List.concat_map (fun p -> p.Lint_passes.check ctx src) passes)
+      sources
+    @ !parse_failures @ missing
+  in
+  let kept, dropped = List.partition (fun f -> not (Lint_allow.matches allow f)) findings in
+  {
+    findings = Lint_finding.sort kept;
+    files_scanned = List.length sources;
+    suppressed = List.length dropped;
+  }
+
+let to_json r =
+  Lint_finding.report_json ~files_scanned:r.files_scanned ~suppressed:r.suppressed r.findings
+
+let to_table r =
+  let summary =
+    Printf.sprintf "%d file(s) scanned, %d finding(s), %d suppressed by allowlist\n"
+      r.files_scanned (List.length r.findings) r.suppressed
+  in
+  Lint_finding.table r.findings ^ summary
+
+let exit_code r = if r.findings = [] then 0 else 1

@@ -1,0 +1,27 @@
+(** Orchestration: walk the requested roots, parse every [.ml], run the pass
+    catalogue, apply the allowlist, render.
+
+    Unreadable or unparsable files surface as findings under the ["parse"]
+    pseudo-pass rather than exceptions, so one bad file cannot hide the rest
+    of the report. *)
+
+type result = {
+  findings : Lint_finding.t list;  (** non-suppressed, sorted *)
+  files_scanned : int;
+  suppressed : int;
+}
+
+val collect : string list -> string list
+(** All files beneath the given roots (files are taken as-is), sorted,
+    skipping dot-entries and [_build]. *)
+
+val run :
+  ?allow:Lint_allow.t -> ?passes:Lint_passes.pass list -> roots:string list -> unit -> result
+
+val to_json : result -> string
+
+val to_table : result -> string
+(** Findings table plus a one-line summary. *)
+
+val exit_code : result -> int
+(** [0] when clean, [1] when any finding survives the allowlist. *)

@@ -1,0 +1,98 @@
+type severity = Error | Warning
+
+type t = {
+  pass : string;
+  file : string;
+  line : int;
+  col : int;
+  severity : severity;
+  msg : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let make ~pass ~file ~line ~col ~severity msg = { pass; file; line; col; severity; msg }
+
+let compare_locs a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c else compare a.pass b.pass
+
+let sort findings = List.sort compare_locs findings
+
+(* JSON rendering is hand-rolled (mirroring lib/obs) so the linter stays
+   dependency-free and usable before the rest of the tree even compiles. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"pass\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"severity\":\"%s\",\"msg\":\"%s\"}"
+    (json_escape t.pass) (json_escape t.file) t.line t.col (severity_name t.severity)
+    (json_escape t.msg)
+
+let report_json ~files_scanned ~suppressed findings =
+  let findings = sort findings in
+  let errors = List.length (List.filter (fun f -> f.severity = Error) findings) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf ("\n  " ^ to_json f))
+    findings;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n],\n\"summary\":{\"files\":%d,\"findings\":%d,\"errors\":%d,\"warnings\":%d,\"suppressed\":%d}\n}\n"
+       files_scanned (List.length findings) errors
+       (List.length findings - errors)
+       suppressed);
+  Buffer.contents buf
+
+(* Plain aligned-columns table, same visual convention as Dcs_util.Report;
+   returned as a string so only the executable prints (lib/ output rules). *)
+let table findings =
+  match sort findings with
+  | [] -> "no findings\n"
+  | findings ->
+      let rows =
+        List.map
+          (fun f ->
+            [ f.pass; severity_name f.severity; Printf.sprintf "%s:%d" f.file f.line; f.msg ])
+          findings
+      in
+      let header = [ "pass"; "severity"; "location"; "message" ] in
+      let widths = Array.make 4 0 in
+      List.iter
+        (fun row -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row)
+        (header :: rows);
+      let buf = Buffer.create 1024 in
+      let render row =
+        Buffer.add_string buf "  ";
+        Buffer.add_string buf
+          (String.concat "  " (List.mapi (fun i c -> Printf.sprintf "%-*s" widths.(i) c) row));
+        Buffer.add_char buf '\n'
+      in
+      render header;
+      Buffer.add_string buf
+        ("  " ^ String.make (Array.fold_left ( + ) 6 widths) '-' ^ "\n");
+      List.iter render rows;
+      Buffer.contents buf

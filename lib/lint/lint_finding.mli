@@ -1,0 +1,37 @@
+(** Lint findings: location-tagged rule violations plus their renderings.
+
+    A finding identifies the pass that produced it, the offending source
+    location and a human-readable message.  [Error] findings are hard
+    violations of a repo invariant; [Warning] marks heuristic passes (e.g.
+    the parallelism-hygiene detector) whose findings still fail the build
+    unless allowlisted, but signal "audit me" rather than "definitely wrong". *)
+
+type severity = Error | Warning
+
+type t = {
+  pass : string;  (** pass id, e.g. ["banned-api"] *)
+  file : string;  (** path as scanned (relative to the lint invocation) *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in compiler locations *)
+  severity : severity;
+  msg : string;
+}
+
+val make :
+  pass:string -> file:string -> line:int -> col:int -> severity:severity -> string -> t
+
+val severity_name : severity -> string
+
+val sort : t list -> t list
+(** Stable order: file, then line, then column, then pass. *)
+
+val json_escape : string -> string
+
+val to_json : t -> string
+(** One finding as a JSON object. *)
+
+val report_json : files_scanned:int -> suppressed:int -> t list -> string
+(** Full machine-readable report: [{"findings":[...],"summary":{...}}]. *)
+
+val table : t list -> string
+(** Aligned human-readable table (or ["no findings\n"]). *)

@@ -1,0 +1,40 @@
+(** The pass catalogue.
+
+    Each pass inspects one {!Lint_source.t} (parsetree + raw text) against a
+    repo invariant and returns findings.  Passes are syntactic: they see the
+    parsetree, not types, so module-qualified names ([Csr.of_graph]) are
+    matched as written and local aliases escape them — the documented
+    trade-off until a typedtree-based pass lands (see ROADMAP). *)
+
+type ctx = {
+  file_exists : string -> bool;
+      (** membership in the scanned file set (used for .mli coverage); kept
+          abstract so fixtures can fake a file system *)
+  parallel_reachable : string -> bool;
+      (** is this module (by capitalized name) in the transitive dependency
+          closure of modules that touch [Parallel]/[Domain]? *)
+}
+
+type pass = {
+  id : string;
+  title : string;
+  doc : string;
+  check : ctx -> Lint_source.t -> Lint_finding.t list;
+}
+
+val all : pass list
+(** banned-api, unsafe-audit, par-hygiene, iface-coverage, poly-compare. *)
+
+val find : string -> pass option
+
+val kernel_allowlist : string list
+(** The only files allowed to contain [unsafe_*] accesses. *)
+
+val under : dirs:string list -> string -> bool
+(** [under ~dirs:["lib";"graph"] path]: the directory segments of [path]
+    contain [dirs] as a contiguous run (prefix-insensitive, so it holds from
+    any working directory). *)
+
+val has_context_prefix : string -> bool
+(** Does an error message start with a capitalized ["Module.fn:"] /
+    ["Module:"] context token? *)

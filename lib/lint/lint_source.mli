@@ -1,0 +1,35 @@
+(** A source file under analysis: raw text, split lines and a lazily parsed
+    parsetree (via [compiler-libs]; no ppx, so what is linted is exactly what
+    is on disk). *)
+
+type t = {
+  path : string;
+  text : string;
+  lines : string array;
+  ast : (Parsetree.structure, string * int) result Lazy.t;
+}
+
+val of_string : path:string -> string -> t
+(** Wrap in-memory source (used by the test fixtures). *)
+
+val load : string -> (t, string) result
+
+val ast : t -> (Parsetree.structure, string * int) result
+(** The parsetree, or [(message, line)] on a syntax error. *)
+
+val line : t -> int -> string
+(** 1-based; returns [""] out of range. *)
+
+val marker_window : int
+(** How many lines above a construct an annotation comment may sit (10). *)
+
+val has_marker_above : ?within:int -> t -> marker:string -> line:int -> bool
+(** True when some line in [[line - within, line]] contains [marker] —
+    the mechanism behind [(* SAFETY: ... *)] and [(* DOMAIN-SAFE: ... *)]. *)
+
+val referenced_modules : t -> string list
+(** Capitalized identifiers followed by a dot, lexically ("Foo." -> "Foo").
+    Over-approximates module references (strings/comments included). *)
+
+val module_name : t -> string
+(** ["lib/graph/csr.ml"] -> ["Csr"]. *)

@@ -9,7 +9,7 @@ let make rng ~n ~subset_size ~count =
     let retries = 1000 in
     let rec attempt r =
       if r >= retries then
-        failwith "Design.make: could not place a subset (parameters too dense)";
+        invalid_arg "Design.make: could not place a subset (parameters too dense)";
       let s = Prng.sample_distinct rng ~n ~k:subset_size in
       let ok = ref true in
       for i = 0 to subset_size - 1 do

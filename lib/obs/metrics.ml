@@ -19,6 +19,10 @@ type histo = {
   mx : int Atomic.t;
 }
 
+(* DOMAIN-SAFE: the three registry tables are only touched under
+   [registry_mutex] ([intern]/[reset]); instruments themselves are arrays of
+   [Atomic.t] cells, interned once at module load, so hot-path updates never
+   touch the tables. *)
 let registry_mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
@@ -206,6 +210,8 @@ let reset () =
 
 (* ---- activation ---- *)
 
+(* DOMAIN-SAFE: mutated only by [enable] during single-domain CLI/env
+   startup; the at_exit hook reads them after all domains have joined. *)
 let sink = ref None
 let hook_registered = ref false
 

@@ -1,3 +1,6 @@
+(* DOMAIN-SAFE: both flags are flipped only during single-domain startup
+   (CLI flag / env-var activation) and are read-only while Parallel spawns
+   domains; a stale read can only skip one observation, never corrupt. *)
 let tracing = ref false
 let metrics = ref false
 

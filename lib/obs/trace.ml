@@ -10,7 +10,8 @@ type span = {
 
 (* Spans are appended under a mutex at span *end*; a span-per-phase design
    means contention is negligible (spans are milliseconds-scale, not
-   per-node).  The list is kept reversed and flipped on read. *)
+   per-node).  The list is kept reversed and flipped on read.
+   DOMAIN-SAFE: every read and write of [spans] goes through [mutex]. *)
 let mutex = Mutex.create ()
 let spans : span list ref = ref []
 
@@ -100,6 +101,9 @@ let write path =
 
 (* ---- activation ---- *)
 
+(* DOMAIN-SAFE: mutated only by [enable], which runs during single-domain
+   CLI/env startup before any Parallel fan-out; the at_exit hook reads them
+   after all domains have joined. *)
 let sink = ref None
 let hook_registered = ref false
 

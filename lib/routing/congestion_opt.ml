@@ -115,7 +115,7 @@ let route_with_fallback g problem =
     (fun { Routing.src; dst } ->
       match Bfs.shortest_path g src dst with
       | Some p -> p
-      | None -> failwith "Congestion_opt.route: disconnected request")
+      | None -> invalid_arg "Congestion_opt.route: disconnected request")
     problem
 
 let route ?(rounds = 3) ?(slack = 0) g rng problem =
@@ -129,7 +129,7 @@ let route ?(rounds = 3) ?(slack = 0) g rng problem =
   Array.iteri
     (fun i { Routing.src; dst } ->
       let dist_dst = Bfs.distances g dst in
-      if dist_dst.(src) < 0 then failwith "Congestion_opt.route: disconnected request";
+      if dist_dst.(src) < 0 then invalid_arg "Congestion_opt.route: disconnected request";
       dist_dsts.(i) <- dist_dst;
       bounds.(i) <- dist_dst.(src) + slack)
     problem;
@@ -141,7 +141,7 @@ let route ?(rounds = 3) ?(slack = 0) g rng problem =
     | Some p ->
         paths.(i) <- p;
         add_path loads p 1
-    | None -> failwith "Congestion_opt.route: no bounded path (internal)"
+    | None -> invalid_arg "Congestion_opt.route: no bounded path (internal)"
   in
   let order = Prng.permutation rng k in
   Array.iter route_one order;
@@ -170,7 +170,7 @@ let route ?(rounds = 3) ?(slack = 0) g rng problem =
       (fun { Routing.src; dst } ->
         match Bfs.random_shortest_path g rng src dst with
         | Some p -> p
-        | None -> failwith "Congestion_opt.route: disconnected request")
+        | None -> invalid_arg "Congestion_opt.route: disconnected request")
       problem
   in
   let best =

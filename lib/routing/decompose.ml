@@ -113,13 +113,13 @@ let run ~n ~router routing =
             incr matchings;
             let paths = router matching in
             if Array.length paths <> Array.length matching then
-              failwith "Decompose.run: router returned wrong number of paths";
+              invalid_arg "Decompose.run: router returned wrong number of paths";
             Array.iteri
               (fun i (u, v) ->
                 let p = paths.(i) in
                 let len = Array.length p in
                 if len = 0 || p.(0) <> u || p.(len - 1) <> v then
-                  failwith "Decompose.run: router path endpoints mismatch";
+                  invalid_arg "Decompose.run: router path endpoints mismatch";
                 Hashtbl.replace replacement (k, norm u v) p)
               matching
           end)

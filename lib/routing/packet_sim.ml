@@ -93,7 +93,7 @@ let run ~n routing = Trace.with_span ~name:"packet_sim.run" @@ fun () ->
     Metrics.incr m_rounds;
     Metrics.set_gauge m_round_queue widest
   done;
-  if !pending > 0 then failwith "Packet_sim.run: schedule exceeded the C*D guard (bug)";
+  if !pending > 0 then invalid_arg "Packet_sim.run: schedule exceeded the C*D guard (bug)";
   if !Obs.metrics then Array.iter (fun d -> Metrics.observe m_latency d) delivery;
   let makespan = Array.fold_left max 0 delivery in
   let avg_latency =

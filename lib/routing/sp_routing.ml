@@ -3,7 +3,7 @@ let route_with find g problem =
     (fun { Routing.src; dst } ->
       match find g src dst with
       | Some p -> p
-      | None -> failwith "Sp_routing: request endpoints are disconnected")
+      | None -> invalid_arg "Sp_routing: request endpoints are disconnected")
     problem
 
 let route g problem = route_with Bfs.shortest_path g problem

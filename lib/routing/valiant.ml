@@ -1,7 +1,7 @@
 let leg g rng a b =
   match Bfs.random_shortest_path g rng a b with
   | Some p -> p
-  | None -> failwith "Valiant.route: disconnected request"
+  | None -> invalid_arg "Valiant.route: disconnected request"
 
 let route g rng problem =
   let n = Csr.n g in

@@ -12,7 +12,7 @@ let of_sp_router ~name ~graph ~spanner =
       (fun (u, v) ->
         match Bfs.random_shortest_path csr rng u v with
         | Some p -> p
-        | None -> failwith (name ^ ": spanner disconnects a routed pair"))
+        | None -> invalid_arg (name ^ ": spanner disconnects a routed pair"))
       pairs
   in
   { name; graph; spanner; route_matching }

@@ -73,7 +73,7 @@ let router t g rng pairs =
           Metrics.incr m_fallbacks;
           match Bfs.shortest_path (Lazy.force csr) u v with
           | Some p -> p
-          | None -> failwith "Expander_dc.router: spanner disconnected for pair"
+          | None -> invalid_arg "Expander_dc.router: spanner disconnected for pair"
         end
         else begin
           let p = Prng.pick rng candidates in

@@ -60,7 +60,7 @@ let to_dc ?(detour_cap = 64) t g =
           | [] -> (
               match Bfs.shortest_path (Lazy.force csr) u v with
               | Some p -> p
-              | None -> failwith "Irregular_dc: spanner disconnected for pair")
+              | None -> invalid_arg "Irregular_dc: spanner disconnected for pair")
           | _ -> Prng.pick rng (Array.of_list candidates)
         end)
       pairs

@@ -46,7 +46,7 @@ let router t rng pairs =
       else
         match Bfs.random_shortest_path csr rng u v with
         | Some p -> p
-        | None -> failwith "Khop_dc.router: spanner disconnected for pair")
+        | None -> invalid_arg "Khop_dc.router: spanner disconnected for pair")
     pairs
 
 let to_dc t g =

@@ -112,7 +112,7 @@ let router t ~detour_cap rng pairs =
         | [] -> (
             match Bfs.shortest_path (Lazy.force csr) u v with
             | Some p -> p
-            | None -> failwith "Regular_dc.router: spanner disconnected for pair")
+            | None -> invalid_arg "Regular_dc.router: spanner disconnected for pair")
         | _ -> Prng.pick rng (Array.of_list candidates)
       end)
     pairs

@@ -105,7 +105,7 @@ let test_copt_disconnected_raises () =
     (try
        ignore (Congestion_opt.route c rng [| { Routing.src = 0; dst = 3 } |]);
        false
-     with Failure _ -> true)
+     with Invalid_argument _ -> true)
 
 (* ---- Dc_check ---- *)
 

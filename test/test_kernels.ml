@@ -200,6 +200,92 @@ let test_scratch_resizes () =
       check Alcotest.int "cycle distance" (n / 2) (Bfs.distance c 0 (n / 2)))
     [ 4; 64; 8; 128; 6 ]
 
+(* ---- unsafe-site oracles ----
+
+   bfs_batch.ml, bitmat.ml and csr.ml are the only modules allowed to use
+   Array.unsafe_* (enforced by dcs_lint's unsafe-audit pass); every site
+   carries a (* SAFETY: ... *) argument.  These properties back those
+   arguments with an independent, fully bounds-checked oracle written
+   against the plain Graph API — on random graphs including empty,
+   singleton and disconnected inputs. *)
+
+(* queue-based BFS over Graph adjacency: no CSR, no bit-packing, no unsafe *)
+let oracle_distances g src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+  done;
+  dist
+
+let oracle_common_count g u z =
+  let acc = ref 0 in
+  Graph.iter_neighbors g u (fun w -> if Graph.mem_edge g z w then incr acc);
+  !acc
+
+let prop_batch_matches_oracle =
+  QCheck.Test.make ~name:"batched BFS rows = bounds-checked oracle" ~count:60
+    QCheck.(triple small_int (int_range 1 40) (int_range 0 100))
+    (fun (seed, n, pct) ->
+      (* pct near 0 gives empty-edge/disconnected graphs, near 100 dense *)
+      let g = random_graph seed n (float_of_int pct /. 100.0 *. 0.25) in
+      let c = Csr.snapshot g in
+      let k = 1 + (seed mod min n Bfs_batch.width) in
+      let sources = Array.init k (fun i -> (seed + (i * 11)) mod n) in
+      let rows = Bfs_batch.run c sources in
+      Array.for_all2 (fun row s -> row = oracle_distances g s) rows sources)
+
+let prop_bitmat_matches_oracle =
+  QCheck.Test.make ~name:"Bitmat = bounds-checked neighbor-set oracle" ~count:60
+    QCheck.(triple small_int (int_range 1 40) (int_range 0 100))
+    (fun (seed, n, pct) ->
+      let g = random_graph seed n (float_of_int pct /. 100.0 *. 0.25) in
+      let bm = Bitmat.of_graph g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for z = 0 to n - 1 do
+          let oracle = oracle_common_count g u z in
+          if Bitmat.common_count bm u z <> oracle then ok := false;
+          if Bitmat.mem bm u z <> Graph.mem_edge g u z then ok := false;
+          (* at_least must agree with the exact count at, below and above
+             the threshold (and for the k <= 0 shortcut) *)
+          List.iter
+            (fun k ->
+              if Bitmat.common_count_at_least bm u z k <> (oracle >= k) then ok := false)
+            [ -1; 0; oracle; oracle + 1 ]
+        done
+      done;
+      !ok)
+
+let test_unsafe_degenerate_inputs () =
+  (* empty graph: no sources to run, nothing to intersect *)
+  let empty = Csr.snapshot (Graph.create 0) in
+  check Alcotest.int "empty graph, no rows" 0 (Array.length (Bfs_batch.run empty [||]));
+  let bm0 = Bitmat.of_graph (Graph.create 0) in
+  ignore bm0;
+  (* singleton: one node, no edges *)
+  let one = Graph.create 1 in
+  let rows = Bfs_batch.run (Csr.snapshot one) [| 0 |] in
+  check Alcotest.(array (array int)) "singleton distances" [| [| 0 |] |] rows;
+  let bm1 = Bitmat.of_graph one in
+  check Alcotest.int "singleton common" 0 (Bitmat.common_count bm1 0 0);
+  check Alcotest.bool "singleton mem" false (Bitmat.mem bm1 0 0);
+  (* disconnected: two components, cross distances signal -1 *)
+  let g = Generators.two_cliques_matching 8 in
+  let h = Graph.create (Graph.n g) in
+  Graph.iter_edges g (fun u v -> if u < 4 && v < 4 then ignore (Graph.add_edge h u v));
+  let rows = Bfs_batch.run (Csr.snapshot h) [| 0; 5 |] in
+  check Alcotest.(array int) "cross component -1" (oracle_distances h 0) rows.(0);
+  check Alcotest.(array int) "isolated source" (oracle_distances h 5) rows.(1)
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "kernels"
@@ -233,4 +319,7 @@ let () =
         Alcotest.test_case "early exit" `Quick test_saturating_early_exit
         :: q [ prop_saturating_matches_max ] );
       ("scratch", [ Alcotest.test_case "resizes" `Quick test_scratch_resizes ]);
+      ( "unsafe-oracles",
+        Alcotest.test_case "degenerate inputs" `Quick test_unsafe_degenerate_inputs
+        :: q [ prop_batch_matches_oracle; prop_bitmat_matches_oracle ] );
     ]

@@ -1,0 +1,336 @@
+(* Dcs_lint tests: every pass must fire on a minimal bad fixture and stay
+   quiet on the matching clean one; the repo itself must be lint-clean under
+   the checked-in lint.allow; the JSON report and the allowlist format must
+   round-trip. *)
+
+let check = Alcotest.check
+
+(* ---- fixture harness ---- *)
+
+let ctx ?(files = []) ?(par = []) () =
+  {
+    Lint_passes.file_exists = (fun f -> List.mem f files);
+    parallel_reachable = (fun m -> List.mem m par);
+  }
+
+let run_pass id ?files ?par ~path src =
+  match Lint_passes.find id with
+  | None -> Alcotest.failf "unknown pass %s" id
+  | Some p -> p.Lint_passes.check (ctx ?files ?par ()) (Lint_source.of_string ~path src)
+
+let fires name findings = check Alcotest.bool (name ^ " fires") true (findings <> [])
+
+let clean name findings =
+  check Alcotest.bool
+    (Printf.sprintf "%s clean (got: %s)" name
+       (String.concat "; " (List.map (fun f -> f.Lint_finding.msg) findings)))
+    true (findings = [])
+
+(* ---- banned-api ---- *)
+
+let test_banned_api () =
+  let p = "lib/routing/x.ml" in
+  fires "failwith" (run_pass "banned-api" ~path:p {|let f () = failwith "boom"|});
+  fires "Failure" (run_pass "banned-api" ~path:p {|let f () = raise (Failure "boom")|});
+  fires "print" (run_pass "banned-api" ~path:p {|let f () = print_endline "hi"|});
+  fires "printf" (run_pass "banned-api" ~path:p {|let f () = Printf.printf "hi"|});
+  fires "eprintf" (run_pass "banned-api" ~path:p {|let f () = Printf.eprintf "hi"|});
+  fires "of_graph" (run_pass "banned-api" ~path:p {|let f g = Csr.of_graph g|});
+  fires "to_csr" (run_pass "banned-api" ~path:p {|let f g = Graph.to_csr g|});
+  fires "bare invalid_arg"
+    (run_pass "banned-api" ~path:p {|let f () = invalid_arg "no prefix here"|});
+  fires "bare Invalid_argument"
+    (run_pass "banned-api" ~path:p {|let f () = raise (Invalid_argument "no prefix")|});
+  clean "prefixed invalid_arg"
+    (run_pass "banned-api" ~path:p {|let f () = invalid_arg "Routing.f: bad input"|});
+  clean "colon prefix" (run_pass "banned-api" ~path:p {|let f () = invalid_arg "Graph: oops"|});
+  clean "sprintf is fine"
+    (run_pass "banned-api" ~path:p {|let f x = Printf.sprintf "%d" x|});
+  clean "fprintf to channel is fine"
+    (run_pass "banned-api" ~path:p {|let f oc = Printf.fprintf oc "row"|});
+  clean "snapshot is fine" (run_pass "banned-api" ~path:p {|let f g = Csr.snapshot g|});
+  clean "string literal not flagged"
+    (run_pass "banned-api" ~path:p {|let f () = "failwith Printf.printf"|});
+  (* scoping exemptions *)
+  clean "io_error.ml may raise"
+    (run_pass "banned-api" ~path:"lib/util/io_error.ml" {|let f () = failwith "x"|});
+  clean "report.ml may print"
+    (run_pass "banned-api" ~path:"lib/util/report.ml" {|let f () = Printf.printf "t"|});
+  clean "obs may warn"
+    (run_pass "banned-api" ~path:"lib/obs/trace.ml" {|let f () = Printf.eprintf "w"|});
+  clean "lib/graph may build CSRs"
+    (run_pass "banned-api" ~path:"lib/graph/csr.ml" {|let f g = Csr.of_graph g|});
+  clean "bin/ is out of scope"
+    (run_pass "banned-api" ~path:"bin/dcs_cli.ml" {|let f () = Printf.printf "t"|})
+
+(* ---- unsafe-audit ---- *)
+
+let test_unsafe_audit () =
+  let kernel = "lib/graph/bitmat.ml" in
+  fires "unsafe without SAFETY"
+    (run_pass "unsafe-audit" ~path:kernel {|let f a = Array.unsafe_get a 0|});
+  fires "unsafe outside kernels, even with SAFETY"
+    (run_pass "unsafe-audit" ~path:"lib/spanner/dc.ml"
+       "(* SAFETY: nope *)\nlet f a = Array.unsafe_get a 0");
+  fires "bytes unsafe counted"
+    (run_pass "unsafe-audit" ~path:"lib/routing/x.ml" {|let f b = Bytes.unsafe_get b 0|});
+  clean "SAFETY within window"
+    (run_pass "unsafe-audit" ~path:kernel
+       "(* SAFETY: i is bounded by construction *)\nlet f a = Array.unsafe_get a 0");
+  clean "safe access" (run_pass "unsafe-audit" ~path:kernel {|let f a = a.(0)|});
+  (* the marker must be close: > marker_window lines away does not count *)
+  let far =
+    "(* SAFETY: too far away *)\n" ^ String.concat "" (List.init 12 (fun _ -> "let _ = ()\n"))
+    ^ "let f a = Array.unsafe_get a 0"
+  in
+  fires "SAFETY out of window" (run_pass "unsafe-audit" ~path:kernel far)
+
+(* ---- par-hygiene ---- *)
+
+let test_par_hygiene () =
+  let p = "lib/foo/state.ml" in
+  let par = [ "State" ] in
+  fires "toplevel ref" (run_pass "par-hygiene" ~path:p ~par {|let total = ref 0|});
+  fires "toplevel Hashtbl"
+    (run_pass "par-hygiene" ~path:p ~par {|let cache = Hashtbl.create 16|});
+  fires "toplevel array" (run_pass "par-hygiene" ~path:p ~par {|let buf = Array.make 4 0|});
+  fires "mutated record global"
+    (run_pass "par-hygiene" ~path:p ~par
+       "type r = { mutable x : int }\nlet st = { x = 0 }\nlet bump () = st.x <- st.x + 1");
+  clean "annotated DOMAIN-SAFE"
+    (run_pass "par-hygiene" ~path:p ~par
+       "(* DOMAIN-SAFE: guarded by mutex m *)\nlet total = ref 0");
+  clean "not reachable from parallel code"
+    (run_pass "par-hygiene" ~path:p ~par:[] {|let total = ref 0|});
+  clean "local mutable state is fine"
+    (run_pass "par-hygiene" ~path:p ~par {|let f () = let acc = ref 0 in !acc|});
+  clean "immutable toplevel" (run_pass "par-hygiene" ~path:p ~par {|let limit = 42|});
+  clean "unmutated record is fine"
+    (run_pass "par-hygiene" ~path:p ~par
+       "type r = { mutable x : int }\nlet mk () = { x = 0 }")
+
+(* ---- iface-coverage ---- *)
+
+let test_iface_coverage () =
+  let p = "lib/foo/bar.ml" in
+  fires "missing mli" (run_pass "iface-coverage" ~path:p ~files:[ p ] "let x = 1");
+  clean "mli present" (run_pass "iface-coverage" ~path:p ~files:[ p; p ^ "i" ] "let x = 1");
+  clean "bin/ exempt" (run_pass "iface-coverage" ~path:"bin/main.ml" ~files:[] "let x = 1")
+
+(* ---- poly-compare ---- *)
+
+let test_poly_compare () =
+  let p = "lib/spanner/x.ml" in
+  fires "= on graph ident" (run_pass "poly-compare" ~path:p {|let f graph h = graph = h|});
+  fires "= on snapshot"
+    (run_pass "poly-compare" ~path:p {|let f a b = Graph.snapshot a = Graph.snapshot b|});
+  fires "compare on csr" (run_pass "poly-compare" ~path:p {|let f (csr : Csr.t) x = compare csr x|});
+  fires "<> on generator result"
+    (run_pass "poly-compare" ~path:p {|let f rng h = Generators.cycle 5 <> h|});
+  clean "ints are fine" (run_pass "poly-compare" ~path:p {|let f a b = a = b|});
+  clean "counts are fine" (run_pass "poly-compare" ~path:p {|let f g h = Graph.n g = Graph.n h|});
+  clean "physical identity is fine" (run_pass "poly-compare" ~path:p {|let f graph h = graph == h|})
+
+(* ---- parse pseudo-pass ---- *)
+
+let test_parse_failure_is_a_finding () =
+  let dir = Filename.temp_file "dcs_lint" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let bad = Filename.concat dir "broken.ml" in
+  Out_channel.with_open_text bad (fun oc -> output_string oc "let let let");
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove bad;
+      Sys.rmdir dir)
+    (fun () ->
+      let r = Lint_driver.run ~roots:[ dir ] () in
+      check Alcotest.int "one finding" 1 (List.length r.Lint_driver.findings);
+      match r.Lint_driver.findings with
+      | [ f ] -> check Alcotest.string "parse pass" "parse" f.Lint_finding.pass
+      | _ -> Alcotest.fail "expected exactly one parse finding")
+
+(* ---- end-to-end: the repo is lint-clean ---- *)
+
+let repo_roots = [ "../lib"; "../bin"; "../bench" ]
+
+let test_repo_is_lint_clean () =
+  let allow =
+    match Lint_allow.load "../lint.allow" with
+    | Ok a -> a
+    | Error msg -> Alcotest.failf "lint.allow unreadable: %s" msg
+  in
+  let r = Lint_driver.run ~allow ~roots:repo_roots () in
+  check Alcotest.bool "scanned a realistic number of sources" true (r.Lint_driver.files_scanned > 50);
+  check
+    Alcotest.(list string)
+    "repo lint-clean" []
+    (List.map
+       (fun f -> Printf.sprintf "%s:%d %s: %s" f.Lint_finding.file f.line f.pass f.msg)
+       r.Lint_driver.findings)
+
+let test_every_pass_exercised_by_repo_kernels () =
+  (* the unsafe-audit pass must actually see unsafe sites in the kernels:
+     if the kernels drop Array.unsafe_*, the SAFETY convention (and this
+     pass) silently stops being exercised *)
+  let src =
+    match Lint_source.load "../lib/graph/bfs_batch.ml" with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "cannot load bfs_batch.ml: %s" msg
+  in
+  let contains needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let uses_unsafe =
+    contains "Array.unsafe_get" src.Lint_source.text
+    && contains "SAFETY:" src.Lint_source.text
+  in
+  check Alcotest.bool "kernels use justified unsafe accesses" true uses_unsafe
+
+(* ---- JSON report ---- *)
+
+let test_json_report () =
+  let r = Lint_driver.run ~roots:repo_roots () in
+  let json = Lint_driver.to_json r in
+  List.iter
+    (fun key ->
+      check Alcotest.bool (Printf.sprintf "json has %S" key) true
+        (let re = Printf.sprintf "\"%s\"" key in
+         let rec find i =
+           i + String.length re <= String.length json
+           && (String.sub json i (String.length re) = re || find (i + 1))
+         in
+         find 0))
+    [ "findings"; "summary"; "files"; "errors"; "warnings"; "suppressed" ];
+  (* escaping: a finding whose message embeds quotes/newlines must stay
+     well-formed (spot-check the escaper directly) *)
+  check Alcotest.string "escape" {|a\"b\\c\nd|} (Lint_finding.json_escape "a\"b\\c\nd");
+  let f =
+    Lint_finding.make ~pass:"banned-api" ~file:"lib/x.ml" ~line:3 ~col:2
+      ~severity:Lint_finding.Error "uses \"quotes\""
+  in
+  check Alcotest.bool "finding json shape" true
+    (Lint_finding.to_json f
+    = {|{"pass":"banned-api","file":"lib/x.ml","line":3,"col":2,"severity":"error","msg":"uses \"quotes\""}|}
+    )
+
+(* ---- allowlist ---- *)
+
+let test_allowlist_round_trip () =
+  let entries =
+    [
+      { Lint_allow.pass = "banned-api"; path = "lib/routing/valiant.ml"; substring = "" };
+      { Lint_allow.pass = "*"; path = "lib/obs/trace.ml"; substring = "top-level mutable state" };
+    ]
+  in
+  (match Lint_allow.of_string (Lint_allow.to_string entries) with
+  | Ok parsed -> check Alcotest.bool "round trip" true (parsed = entries)
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg);
+  (* comments and blanks vanish *)
+  (match Lint_allow.of_string "# header\n\n  # indented comment\n" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "comments produced entries"
+  | Error msg -> Alcotest.failf "comment parse failed: %s" msg);
+  (* matching: pass, path suffix (whole segments), message substring *)
+  let f =
+    Lint_finding.make ~pass:"par-hygiene" ~file:"../lib/obs/trace.ml" ~line:15 ~col:0
+      ~severity:Lint_finding.Warning "top-level mutable state: spans is a ref cell"
+  in
+  check Alcotest.bool "wildcard + suffix + substring" true (Lint_allow.matches entries f);
+  check Alcotest.bool "wrong path" false
+    (Lint_allow.matches entries { f with Lint_finding.file = "../lib/obs/metrics.ml" });
+  check Alcotest.bool "partial segment does not match" false
+    (Lint_allow.matches
+       [ { Lint_allow.pass = "*"; path = "race.ml"; substring = "" } ]
+       f);
+  check Alcotest.bool "wrong substring" false
+    (Lint_allow.matches entries { f with Lint_finding.msg = "something else" })
+
+let test_allowlist_suppresses () =
+  (* suppress a synthetic violation end-to-end through the driver *)
+  let dir = Filename.temp_file "dcs_lint_allow" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Sys.mkdir (Filename.concat dir "lib") 0o755;
+  let bad = Filename.concat (Filename.concat dir "lib") "naughty.ml" in
+  Out_channel.with_open_text bad (fun oc -> output_string oc "let f () = failwith \"x\"\n");
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove bad;
+      Sys.rmdir (Filename.concat dir "lib");
+      Sys.rmdir dir)
+    (fun () ->
+      let without = Lint_driver.run ~roots:[ dir ] () in
+      (* naughty.ml also misses its mli: expect both passes to fire *)
+      check Alcotest.bool "fires without allowlist" true
+        (List.length without.Lint_driver.findings >= 2);
+      let allow =
+        [
+          { Lint_allow.pass = "banned-api"; path = "lib/naughty.ml"; substring = "failwith" };
+          { Lint_allow.pass = "iface-coverage"; path = "lib/naughty.ml"; substring = "" };
+        ]
+      in
+      let r = Lint_driver.run ~allow ~roots:[ dir ] () in
+      check Alcotest.int "all suppressed" 0 (List.length r.Lint_driver.findings);
+      check Alcotest.bool "suppression counted" true (r.Lint_driver.suppressed >= 2);
+      check Alcotest.int "exit 0 when suppressed" 0 (Lint_driver.exit_code r);
+      check Alcotest.int "exit 1 otherwise" 1 (Lint_driver.exit_code without))
+
+(* ---- the executable ---- *)
+
+let lint_exe =
+  Filename.concat Filename.parent_dir_name (Filename.concat "bin" "dcs_lint.exe")
+
+let test_exe_json_clean () =
+  check Alcotest.bool "dcs_lint.exe built" true (Sys.file_exists lint_exe);
+  let out = Filename.temp_file "dcs_lint_out" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let code =
+        Sys.command
+          (Printf.sprintf "%s --json --allow ../lint.allow ../lib ../bin ../bench > %s"
+             lint_exe out)
+      in
+      check Alcotest.int "exit 0 on clean repo" 0 code;
+      let body = In_channel.with_open_text out In_channel.input_all in
+      check Alcotest.bool "json body" true
+        (String.length body > 0 && body.[0] = '{');
+      let contains needle =
+        let nh = String.length body and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub body i nn = needle || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "empty findings array" true (contains "\"findings\":[\n]");
+      check Alcotest.bool "summary present" true (contains "\"summary\""))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "banned-api" `Quick test_banned_api;
+          Alcotest.test_case "unsafe-audit" `Quick test_unsafe_audit;
+          Alcotest.test_case "par-hygiene" `Quick test_par_hygiene;
+          Alcotest.test_case "iface-coverage" `Quick test_iface_coverage;
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "parse failure" `Quick test_parse_failure_is_a_finding;
+        ] );
+      ( "repo",
+        [
+          Alcotest.test_case "lint-clean" `Quick test_repo_is_lint_clean;
+          Alcotest.test_case "kernels exercised" `Quick test_every_pass_exercised_by_repo_kernels;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "json report" `Quick test_json_report;
+          Alcotest.test_case "exe --json" `Quick test_exe_json_clean;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "round trip" `Quick test_allowlist_round_trip;
+          Alcotest.test_case "suppression" `Quick test_allowlist_suppresses;
+        ] );
+    ]

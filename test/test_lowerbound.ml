@@ -94,7 +94,7 @@ let test_design_too_dense_fails () =
     (try
        ignore (Design.make rng ~n:10 ~subset_size:5 ~count:50);
        false
-     with Failure _ -> true)
+     with Invalid_argument _ -> true)
 
 let test_design_element_range () =
   let rng = Prng.create 6 in

@@ -280,7 +280,7 @@ let test_sp_routing_disconnected () =
   let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
   let c = Csr.snapshot g in
   Alcotest.check_raises "disconnected"
-    (Failure "Sp_routing: request endpoints are disconnected") (fun () ->
+    (Invalid_argument "Sp_routing: request endpoints are disconnected") (fun () ->
       ignore (Sp_routing.route c [| { Routing.src = 0; dst = 3 } |]))
 
 (* ---- Algorithm 2 decomposition ---- *)
@@ -402,7 +402,7 @@ let test_decompose_router_endpoint_check () =
   (try
      ignore (Decompose.run ~n:2 ~router:bad_router routing);
      Alcotest.fail "expected failure"
-   with Failure msg ->
+   with Invalid_argument msg ->
      check Alcotest.bool "endpoint mismatch detected" true
        (String.length msg > 0))
 
