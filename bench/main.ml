@@ -2,9 +2,14 @@
    (see DESIGN.md §4 for the experiment index) and runs Bechamel timing
    benches for the constructions.
 
-   Usage:  dune exec bench/main.exe [-- block ...]
+   Usage:  dune exec bench/main.exe [-- block ... [flags]]
    Blocks: table1 figures lemmas distributed ablations extensions fault timing
    kernels obs; all (default all).
+   Flags:  --write-baseline FILE   combined stable-metric baseline of this run
+           --compare FILE          judge this run against a baseline; exit 1 on
+                                   regression, 2 on a malformed/unmatched baseline
+           --tolerance PCT         band for --compare (default 2.0)
+   Every block also writes BENCH_<block>.json under DCS_BENCH_DIR when set.
    Set DCS_BENCH_SCALE=quick for smaller sweeps (CI), =full for larger. *)
 
 let scale =
@@ -12,6 +17,8 @@ let scale =
   | Some "quick" -> `Quick
   | Some "full" -> `Full
   | _ -> `Standard
+
+let scale_name = match scale with `Quick -> "quick" | `Standard -> "standard" | `Full -> "full"
 
 let pick ~quick ~standard ~full =
   match scale with `Quick -> quick | `Standard -> standard | `Full -> full
@@ -26,7 +33,7 @@ let regular_expander seed n d = Generators.random_regular (Prng.create seed) n (
 (* Table 1, row 1 — Theorem 2: expander DC-spanner                     *)
 (* ------------------------------------------------------------------ *)
 
-let table1_theorem2 () =
+let table1_theorem2 br =
   Report.subsection "table1/theorem2  (Table 1 row 1)";
   Printf.printf
     "paper: n^{2/3+eps}-regular expander -> (3, O(log^2 n))-DC-spanner, O(n^{5/3}) edges\n";
@@ -49,15 +56,19 @@ let table1_theorem2 () =
          router's candidate cache makes repeat trials cheap *)
       let row = Experiment.evaluate ~trials:10 rng dc in
       sizes := (n, row.Experiment.m_spanner) :: !sizes;
+      Bench_report.add br ~units:"edges"
+        (Printf.sprintf "theorem2.m_spanner.n%d" n)
+        (float_of_int row.Experiment.m_spanner);
       Report.add_row table
         (string_of_int (Graph.max_degree g)
         :: fmt row.Experiment.matching.Dc.max_mean_node_load
         :: Experiment.row_cells_of ctor row))
     ns;
-  if List.length !sizes >= 2 then
-    Report.add_note table
-      (Printf.sprintf "fitted size exponent: %.3f (paper: 5/3 = 1.667)"
-         (Stats.fitted_exponent (Array.of_list !sizes)));
+  if List.length !sizes >= 2 then begin
+    let e = Stats.fitted_exponent (Array.of_list !sizes) in
+    Bench_report.add br ~units:"exponent" "theorem2.size_exponent" e;
+    Report.add_note table (Printf.sprintf "fitted size exponent: %.3f (paper: 5/3 = 1.667)" e)
+  end;
   Report.add_note table "shape checks: m(H)/n^{5/3} flat; dist = 3; match-cong = O(log n);";
   Report.add_note table "E[T_w] max is the worst per-node load averaged over trials -- the";
   Report.add_note table "'expected node congestion 1+o(1)' claim; lam(G) certifies the premise.";
@@ -67,7 +78,7 @@ let table1_theorem2 () =
 (* Table 1, row 2 — [5]-substitute: O(n) edges inside a dense expander *)
 (* ------------------------------------------------------------------ *)
 
-let table1_becchetti () =
+let table1_becchetti br =
   Report.subsection "table1/becchetti  (Table 1 row 2, [5]-substitute)";
   Printf.printf
     "paper: Delta = Omega(n) expander -> (O(log n), O(log^3 n))-DC-spanner, O(n) edges\n\n";
@@ -83,6 +94,9 @@ let table1_becchetti () =
       let rng = Prng.create (4000 + n) in
       let dc = Construction.build ctor rng g in
       let row = Experiment.evaluate ~trials:3 rng dc in
+      Bench_report.add br ~units:"edges"
+        (Printf.sprintf "becchetti.m_spanner.n%d" n)
+        (float_of_int row.Experiment.m_spanner);
       Report.add_row table
         (string_of_int (Graph.max_degree g) :: Experiment.row_cells_of ctor row))
     ns;
@@ -94,7 +108,7 @@ let table1_becchetti () =
 (* Table 1, row 3 — [16]-substitute: O(n log n) spectral sparsifier    *)
 (* ------------------------------------------------------------------ *)
 
-let table1_koutis_xu () =
+let table1_koutis_xu br =
   Report.subsection "table1/koutis_xu  (Table 1 row 3, [16]-substitute)";
   Printf.printf
     "paper: any expander -> (O(log n), O(log^4 n))-DC-spanner, O(n log n) edges\n\n";
@@ -113,6 +127,9 @@ let table1_koutis_xu () =
       let per_nlogn =
         float_of_int row.Experiment.m_spanner /. (float_of_int n *. log (float_of_int n))
       in
+      Bench_report.add br ~units:"edges"
+        (Printf.sprintf "koutis_xu.m_spanner.n%d" n)
+        (float_of_int row.Experiment.m_spanner);
       Report.add_row table
         (string_of_int (Graph.max_degree g)
         :: fmt per_nlogn
@@ -127,7 +144,7 @@ let table1_koutis_xu () =
 (* Table 1, row 4 — Theorem 3 / Algorithm 1                            *)
 (* ------------------------------------------------------------------ *)
 
-let table1_theorem3 () =
+let table1_theorem3 br =
   Report.subsection "table1/theorem3  (Table 1 row 4, Algorithm 1)";
   Printf.printf
     "paper: Delta-regular, Delta >= n^{2/3} -> (3, O(sqrt(Delta) log n))-DC-spanner,\n";
@@ -150,6 +167,9 @@ let table1_theorem3 () =
       let dc = Regular_dc.to_dc t g in
       let row = Experiment.evaluate ~trials:3 rng dc in
       sizes := (n, row.Experiment.m_spanner) :: !sizes;
+      Bench_report.add br ~units:"edges"
+        (Printf.sprintf "theorem3.m_spanner.n%d" n)
+        (float_of_int row.Experiment.m_spanner);
       let sqrt_d = sqrt (float_of_int t.Regular_dc.delta) in
       Report.add_row table
         ([
@@ -175,7 +195,7 @@ let table1_theorem3 () =
 (* Table 1, row 5 — Theorem 4 lower bound                              *)
 (* ------------------------------------------------------------------ *)
 
-let table1_theorem4 () =
+let table1_theorem4 br =
   Report.subsection "table1/theorem4  (Table 1 row 5, lower bound)";
   Printf.printf
     "paper: a Theta(n^{1/6})-degree graph where any optimal-size 3-distance spanner\n";
@@ -218,6 +238,9 @@ let table1_theorem4 () =
         worst := max !worst (Routing.congestion ~n (Theorem4.forced_routing t i))
       done;
       let removed_total = Array.fold_left (fun acc r -> acc + Array.length r) 0 removed in
+      Bench_report.add br ~units:"load"
+        (Printf.sprintf "theorem4.forced_congestion.k%d" k)
+        (float_of_int !worst);
       Report.add_row table
         [
           string_of_int k;
@@ -238,19 +261,19 @@ let table1_theorem4 () =
   Report.add_note table "nodes: measured stretch k beats the claimed (2k-1)/4 lower bound.";
   Report.print table
 
-let run_table1 () =
+let run_table1 br =
   Report.section "TABLE 1 — summary of results (measured)";
-  table1_theorem2 ();
-  table1_becchetti ();
-  table1_koutis_xu ();
-  table1_theorem3 ();
-  table1_theorem4 ()
+  table1_theorem2 br;
+  table1_becchetti br;
+  table1_koutis_xu br;
+  table1_theorem3 br;
+  table1_theorem4 br
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1 — VFT spanners do not control congestion                   *)
 (* ------------------------------------------------------------------ *)
 
-let figures_fig1 () =
+let figures_fig1 br =
   Report.subsection "figures/fig1_vft  (Figure 1)";
   Printf.printf
     "paper: two n/2-cliques + perfect matching; an f-VFT-style 3-spanner keeping\n";
@@ -270,6 +293,9 @@ let figures_fig1 () =
       let rng = Prng.create (100 + n) in
       let routing = Vft_example.route t rng in
       let c = Routing.congestion ~n:(Graph.n t.Vft_example.graph) routing in
+      Bench_report.add br ~units:"load"
+        (Printf.sprintf "fig1.congestion.n%d" n)
+        (float_of_int c);
       let n23 = float_of_int n ** (2.0 /. 3.0) in
       Report.add_row table
         [
@@ -342,7 +368,7 @@ let figures_fig2 () =
 (* Figures 3-4 — the support structure census                          *)
 (* ------------------------------------------------------------------ *)
 
-let figures_fig34 () =
+let figures_fig34 br =
   Report.subsection "figures/fig34_support  (Figures 3-4)";
   Printf.printf
     "paper: (a,b)-supported edges own >= a*b 3-detours; Algorithm 1 reinserts the\n";
@@ -354,6 +380,10 @@ let figures_fig34 () =
   let a = max 2 (int_of_float (ceil (log (float_of_int n)))) in
   let b = max 1 (Graph.max_degree g / 4) in
   let census = Support.census rng g ~a ~b in
+  Bench_report.add br ~units:"edges" ~higher_is_better:true "fig34.edges_supported"
+    (float_of_int census.Support.edges_supported);
+  Bench_report.add br ~units:"edges" "fig34.edges_total"
+    (float_of_int census.Support.edges_total);
   let table =
     Report.create
       ~title:
@@ -386,7 +416,7 @@ let figures_fig34 () =
 (* Lemma 2 — distance + congestion spanner that is not a DC-spanner    *)
 (* ------------------------------------------------------------------ *)
 
-let lemmas_lemma2 () =
+let lemmas_lemma2 br =
   Report.subsection "lemmas/lemma2  (Lemma 2)";
   Printf.printf
     "paper: H is a 3-distance spanner AND a 2-congestion spanner, yet any routing\n";
@@ -405,6 +435,9 @@ let lemmas_lemma2 () =
       let nn = Graph.n t.Lemma2.graph in
       let detour_c = Routing.congestion ~n:nn (Lemma2.detour_routing t) in
       let short_c = Routing.congestion ~n:nn (Lemma2.short_routing t) in
+      Bench_report.add br ~units:"load"
+        (Printf.sprintf "lemma2.short_congestion.s%d" size)
+        (float_of_int short_c);
       Report.add_row table
         [
           string_of_int size;
@@ -423,7 +456,7 @@ let lemmas_lemma2 () =
 (* Theorem 1 — decomposition into matchings                            *)
 (* ------------------------------------------------------------------ *)
 
-let lemmas_theorem1 () =
+let lemmas_theorem1 br =
   Report.subsection "lemmas/theorem1  (Theorem 1 / Lemmas 21-23)";
   Printf.printf
     "paper: any routing P decomposes into <= O(n^3) matchings across levels with\n";
@@ -460,6 +493,12 @@ let lemmas_theorem1 () =
         Decompose.run ~n ~router:(fun pairs -> Array.map (fun (u, v) -> [| u; v |]) pairs) routing
       in
       let c' = Routing.congestion ~n substitute in
+      Bench_report.add br ~units:"load"
+        (Printf.sprintf "theorem1.substitute_congestion.k%d" k)
+        (float_of_int c');
+      Bench_report.add br ~units:"matchings"
+        (Printf.sprintf "theorem1.matchings.k%d" k)
+        (float_of_int stats.Decompose.matchings);
       Report.add_row table
         [
           string_of_int k;
@@ -480,7 +519,7 @@ let lemmas_theorem1 () =
 (* Lemma 18 exhaustive census                                          *)
 (* ------------------------------------------------------------------ *)
 
-let lemmas_lemma18_census () =
+let lemmas_lemma18_census br =
   Report.subsection "lemmas/lemma18_census  (exhaustive gadget enumeration)";
   Printf.printf
     "every subset of gadget edges is tried; valid 3-spanners are kept and the exact\n";
@@ -518,6 +557,9 @@ let lemmas_lemma18_census () =
           max_rays := max !max_rays rays;
           if Array.length removed = max_removed then min_e1_at_max := min !min_e1_at_max e1)
         spanners;
+      Bench_report.add br ~units:"spanners" ~higher_is_better:true
+        (Printf.sprintf "lemma18.valid_spanners.k%d" k)
+        (float_of_int (List.length spanners));
       Report.add_row table
         [
           string_of_int k;
@@ -533,23 +575,23 @@ let lemmas_lemma18_census () =
   Report.add_note table "|E1| over maximal spanners is the real forced-congestion constant.";
   Report.print table
 
-let run_figures () =
+let run_figures br =
   Report.section "FIGURES 1-4 (measured constructions)";
-  figures_fig1 ();
+  figures_fig1 br;
   figures_fig2 ();
-  figures_fig34 ()
+  figures_fig34 br
 
-let run_lemmas () =
+let run_lemmas br =
   Report.section "LEMMA 2, LEMMA 18 and THEOREM 1 (machinery checks)";
-  lemmas_lemma2 ();
-  lemmas_lemma18_census ();
-  lemmas_theorem1 ()
+  lemmas_lemma2 br;
+  lemmas_lemma18_census br;
+  lemmas_theorem1 br
 
 (* ------------------------------------------------------------------ *)
 (* Corollary 3 — distributed construction                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_distributed () =
+let run_distributed br =
   Report.section "COROLLARY 3 — distributed Algorithm 1 in the LOCAL model";
   Printf.printf
     "paper: O(1) LOCAL rounds suffice on any Delta-regular graph with Delta >= n^{2/3}\n\n";
@@ -572,6 +614,12 @@ let run_distributed () =
         Graph.m r.Dist_spanner.spanner = Graph.m ref_h
         && Graph.is_subgraph r.Dist_spanner.spanner ~of_:ref_h
       in
+      Bench_report.add br ~units:"messages"
+        (Printf.sprintf "distributed.messages.n%d" n)
+        (float_of_int r.Dist_spanner.messages);
+      Bench_report.add br ~units:"edges"
+        (Printf.sprintf "distributed.m_spanner.n%d" n)
+        (float_of_int (Graph.m r.Dist_spanner.spanner));
       Report.add_row table
         [
           string_of_int n;
@@ -735,7 +783,7 @@ let ablation_decomposition () =
   Report.add_note table "paths (<= 3x each edge) while keeping congestion comparable.";
   Report.print table
 
-let ablation_classic_congestion () =
+let ablation_classic_congestion br =
   Report.subsection "ablations/classic_congestion  (why distance spanners are not enough)";
   let n = pick ~quick:216 ~standard:343 ~full:512 in
   let d = int_of_float (float_of_int n ** 0.7) in
@@ -750,6 +798,9 @@ let ablation_classic_congestion () =
       let rng = Prng.create 932 in
       let dc = Construction.build ctor rng g in
       let row = Experiment.evaluate ~trials:3 ~with_general:false ~with_lambda:false rng dc in
+      Bench_report.add br ~units:"load"
+        (Printf.sprintf "classic.match_congestion_max.%s" dc.Dc.name)
+        (float_of_int row.Experiment.matching.Dc.max_congestion);
       Report.add_row table
         [
           dc.Dc.name;
@@ -820,19 +871,19 @@ let ablation_valiant () =
   Report.add_note table "these sizes; the offline optimizer wins when it may pick paths.";
   Report.print table
 
-let run_ablations () =
+let run_ablations br =
   Report.section "ABLATIONS (DESIGN.md section 5)";
   ablation_reinsertion ();
   ablation_detour_choice ();
   ablation_decomposition ();
-  ablation_classic_congestion ();
+  ablation_classic_congestion br;
   ablation_valiant ()
 
 (* ------------------------------------------------------------------ *)
 (* Extensions: open problems of Section 8 + stronger baselines         *)
 (* ------------------------------------------------------------------ *)
 
-let ext_khop_frontier () =
+let ext_khop_frontier br =
   Report.subsection "extensions/khop  (Section 8: trade stretch for sparsity)";
   Printf.printf
     "open problem: does increasing the distance stretch give sparser spanners with\n";
@@ -853,6 +904,9 @@ let ext_khop_frontier () =
       let dc = Khop_dc.to_dc t g in
       let r = Dc.measure_matching dc (Prng.create 943) ~trials:3 in
       let dist = Stretch.exact g t.Khop_dc.spanner in
+      Bench_report.add br ~units:"edges"
+        (Printf.sprintf "khop.m_spanner.k%d" k)
+        (float_of_int (Graph.m t.Khop_dc.spanner));
       Report.add_row table
         [
           string_of_int k;
@@ -1026,9 +1080,9 @@ let ext_packets () =
   Report.add_note table "nodes turn its congestion stretch into real queueing delay.";
   Report.print table
 
-let run_extensions () =
+let run_extensions br =
   Report.section "EXTENSIONS (Section 8 open problems + stronger baselines)";
-  ext_khop_frontier ();
+  ext_khop_frontier br;
   ext_irregular ();
   ext_congestion_baselines ();
   ext_dc_estimates ();
@@ -1038,7 +1092,7 @@ let run_extensions () =
 (* Fault injection: degraded-mode routing + self-healing repair        *)
 (* ------------------------------------------------------------------ *)
 
-let fault_degradation_sweep () =
+let fault_degradation_sweep br =
   Report.subsection "fault/degradation_sweep  (random node failures vs delivery and repair)";
   Printf.printf
     "permutation flows routed in each spanner while nodes fail uniformly at rate p\n";
@@ -1073,6 +1127,7 @@ let fault_degradation_sweep () =
   (* every registered construction whose premise accepts this graph takes a
      turn — a new registry entry joins the sweep automatically *)
   let premise = Premise.check g in
+  let delivered_total = ref 0 and dropped_total = ref 0 and repair_total = ref 0 in
   List.iter
     (fun ctor ->
       let dc = Construction.build ctor (Prng.create 1202) g in
@@ -1086,6 +1141,9 @@ let fault_degradation_sweep () =
           let rep =
             Repair.run (Fault_plan.survivor h plan) ~within:(Fault_plan.survivor g plan)
           in
+          delivered_total := !delivered_total + s.Fault_sim.delivered;
+          dropped_total := !dropped_total + s.Fault_sim.dropped;
+          repair_total := !repair_total + List.length rep.Repair.added;
           Report.add_row table
             [
               dc.Dc.name;
@@ -1101,12 +1159,16 @@ let fault_degradation_sweep () =
             ])
         rates)
     (Construction.accepting premise);
+  Bench_report.add br ~units:"packets" ~higher_is_better:true "fault.delivered_total"
+    (float_of_int !delivered_total);
+  Bench_report.add br ~units:"packets" "fault.dropped_total" (float_of_int !dropped_total);
+  Bench_report.add br ~units:"edges" "fault.repair_edges_total" (float_of_int !repair_total);
   Report.add_note table "drops are packets whose endpoint died (unavoidable) or that exhausted";
   Report.add_note table "their retransmission budget; the DC spanners' spare detours keep the";
   Report.add_note table "reroute success rate up and the repair bill low at the same p.";
   Report.print table
 
-let fault_vft_attack () =
+let fault_vft_attack br =
   Report.subsection "fault/vft_attack  (Figure 1 under the targeted matching attack)";
   Printf.printf
     "the paper's VFT foil: kill all but one kept matching edge of the Figure 1\n";
@@ -1143,6 +1205,9 @@ let fault_vft_attack () =
       let plan = Fault_plan.targeted_edges ~round:2 ~n:(Graph.n g) killed in
       let s = Fault_sim.run ~n:(Graph.n g) ~network:h ~plan routing in
       let rep = Repair.run (Fault_plan.survivor h plan) ~within:(Fault_plan.survivor g plan) in
+      Bench_report.add br ~units:"rounds"
+        (Printf.sprintf "fault.vft_makespan.n%d" n)
+        (float_of_int s.Fault_sim.makespan);
       Report.add_row table
         [
           string_of_int n;
@@ -1163,16 +1228,16 @@ let fault_vft_attack () =
   Report.add_note table "distance stretch alone cannot see the collapse; that is Figure 1's point.";
   Report.print table
 
-let run_fault () =
+let run_fault br =
   Report.section "FAULT INJECTION (degraded-mode routing and self-healing repair)";
-  fault_degradation_sweep ();
-  fault_vft_attack ()
+  fault_degradation_sweep br;
+  fault_vft_attack br
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_timing () =
+let run_timing br =
   Report.section "TIMING (Bechamel, monotonic clock)";
   let open Bechamel in
   let n = pick ~quick:125 ~standard:216 ~full:343 in
@@ -1248,6 +1313,12 @@ let run_timing () =
         else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
         else Printf.sprintf "%.0f ns" ns
       in
+      (* wall times are machine-dependent: exported for trend dashboards but
+         never baseline-eligible *)
+      let metric =
+        String.map (fun c -> match c with '/' | ' ' -> '_' | _ -> c) name
+      in
+      Bench_report.add br ~stable:false ~units:"ns" ("timing." ^ metric ^ "_ns") ns;
       Report.add_row table [ name; human ])
     (List.sort compare !rows);
   Report.print table
@@ -1287,7 +1358,7 @@ let bfs_plain g s =
   done;
   dist
 
-let run_obs () =
+let run_obs br =
   Report.section "OBSERVABILITY OVERHEAD (lib/obs, instrumentation disabled)";
   Printf.printf
     "claim: with tracing and metrics off, every hook costs one flag check; the\n";
@@ -1343,6 +1414,7 @@ let run_obs () =
   List.iter (fun (name, ns) -> Report.add_row table [ name; human ns ]) (List.sort compare !rows);
   let instr = time_of "bfs-instrumented" and plain = time_of "bfs-plain" in
   let overhead = 100.0 *. (instr -. plain) /. plain in
+  Bench_report.add br ~stable:false ~units:"pct" "obs.bfs_overhead_pct" overhead;
   Report.add_note table
     (Printf.sprintf "BFS disabled-instrumentation overhead: %.2f%% (claim: < 5%%)%s" overhead
        (if Float.is_nan overhead || overhead < 5.0 then "" else "  ** OVER BUDGET **"));
@@ -1367,7 +1439,7 @@ let time_best ~reps f =
   done;
   (result, !best)
 
-let run_kernels () =
+let run_kernels br =
   Report.section "KERNEL COMPARISON (stretch certification)";
   Printf.printf "claim: grouping removed edges by source and answering %d sources per\n"
     Bfs_batch.width;
@@ -1385,7 +1457,6 @@ let run_kernels () =
           "batched ms"; "x grouped"; "x batched"; "identical";
         ]
   in
-  let cases = ref [] in
   List.iter
     (fun ctor ->
       let cname = ctor.Construction.name in
@@ -1421,15 +1492,14 @@ let run_kernels () =
               Printf.sprintf "%.1fx" (speedup t_batched);
               (if identical then "yes" else "** NO **");
             ];
-          cases :=
-            Printf.sprintf
-              "{\"construction\":\"%s\",\"n\":%d,\"delta\":%d,\"removed\":%d,\"sources\":%d,\"scalar_ms\":%s,\"grouped_ms\":%s,\"batched_ms\":%s,\"speedup_grouped\":%s,\"speedup_batched\":%s,\"identical\":%b}"
-              (Obs.json_escape cname) n (Graph.max_degree g) removed sources
-              (Obs.json_float t_scalar) (Obs.json_float t_grouped) (Obs.json_float t_batched)
-              (Obs.json_float (speedup t_grouped))
-              (Obs.json_float (speedup t_batched))
-              identical
-            :: !cases)
+          let case = Printf.sprintf "kernels.%s.n%d" cname n in
+          Bench_report.add br ~units:"edges" (case ^ ".removed") (float_of_int removed);
+          Bench_report.add br ~units:"sources" (case ^ ".sources") (float_of_int sources);
+          Bench_report.add br ~units:"bool" ~higher_is_better:true (case ^ ".identical")
+            (if identical then 1.0 else 0.0);
+          Bench_report.add br ~stable:false ~units:"ms" (case ^ ".batched_ms") t_batched;
+          Bench_report.add br ~stable:false ~units:"x" ~higher_is_better:true
+            (case ^ ".speedup_batched") (speedup t_batched))
         ns)
     constructions;
   Report.add_note table "scalar = per-removed-edge bounded BFS (pre-kernel path, 1 rep);";
@@ -1437,16 +1507,15 @@ let run_kernels () =
     (Printf.sprintf "grouped = one sweep per source; batched = %d sources/sweep + domains."
        Bfs_batch.width);
   Report.print table;
-  let path =
-    match Sys.getenv_opt "DCS_BENCH_KERNELS" with Some p -> p | None -> "BENCH_kernels.json"
-  in
-  let oc = open_out path in
-  Printf.fprintf oc "{\"bench\":\"kernels\",\"scale\":\"%s\",\"batch_width\":%d,\"cases\":[%s]}\n"
-    (match scale with `Quick -> "quick" | `Standard -> "standard" | `Full -> "full")
-    Bfs_batch.width
-    (String.concat "," (List.rev !cases));
-  close_out oc;
-  Printf.printf "wrote %s\n" path
+  (* DCS_BENCH_KERNELS predates the unified DCS_BENCH_DIR export: honour the
+     exact path it names for one release, in the dcs-bench/1 schema *)
+  match Sys.getenv_opt "DCS_BENCH_KERNELS" with
+  | None | Some "" -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Bench_report.to_json br);
+      close_out oc;
+      Printf.printf "wrote %s (DCS_BENCH_KERNELS is deprecated; use DCS_BENCH_DIR)\n" path
 
 (* ------------------------------------------------------------------ *)
 
@@ -1465,7 +1534,7 @@ let all_blocks =
   ]
 
 let print_trace_breakdown () =
-  match Trace.summary () with
+  match Trace.profile () with
   | [] -> ()
   | rows ->
       let human us =
@@ -1473,48 +1542,140 @@ let print_trace_breakdown () =
         else if us > 1e3 then Printf.sprintf "%.2f ms" (us /. 1e3)
         else Printf.sprintf "%.0f us" us
       in
+      let words w =
+        if w > 1e9 then Printf.sprintf "%.2f Gw" (w /. 1e9)
+        else if w > 1e6 then Printf.sprintf "%.2f Mw" (w /. 1e6)
+        else if w > 1e3 then Printf.sprintf "%.1f kw" (w /. 1e3)
+        else Printf.sprintf "%.0f w" w
+      in
       let table =
         Report.create ~title:"trace phase breakdown (DCS_TRACE)"
-          ~columns:[ "span"; "count"; "total"; "mean" ]
+          ~columns:[ "span"; "count"; "total"; "mean"; "minor alloc"; "major alloc"; "major GCs" ]
       in
       List.iter
-        (fun (name, count, total_us) ->
+        (fun r ->
           Report.add_row table
             [
-              name;
-              string_of_int count;
-              human total_us;
-              human (total_us /. float_of_int (max 1 count));
+              r.Trace.pname;
+              string_of_int r.Trace.pcount;
+              human r.Trace.ptotal_us;
+              human (r.Trace.ptotal_us /. float_of_int (max 1 r.Trace.pcount));
+              words r.Trace.pminor_words;
+              words r.Trace.pmajor_words;
+              string_of_int r.Trace.pmajor_collections;
             ])
         rows;
       Report.print table
 
+let block_runners =
+  [
+    ("table1", run_table1);
+    ("figures", run_figures);
+    ("lemmas", run_lemmas);
+    ("distributed", run_distributed);
+    ("ablations", run_ablations);
+    ("extensions", run_extensions);
+    ("fault", run_fault);
+    ("timing", run_timing);
+    ("kernels", run_kernels);
+    ("obs", run_obs);
+  ]
+
+(* exit codes under --compare: 0 clean, 1 regression, 2 unusable baseline *)
 let () =
+  let compare_with = ref None and tolerance = ref 2.0 and baseline_out = ref None in
+  let bad_flag msg =
+    Printf.eprintf "bench: %s\n" msg;
+    exit 2
+  in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--compare" :: file :: rest ->
+        compare_with := Some file;
+        parse acc rest
+    | "--write-baseline" :: file :: rest ->
+        baseline_out := Some file;
+        parse acc rest
+    | "--tolerance" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p >= 0.0 -> tolerance := p; parse acc rest
+        | _ -> bad_flag (Printf.sprintf "--tolerance expects a non-negative percent, got %S" pct))
+    | [ ("--compare" | "--write-baseline" | "--tolerance") as flag ] ->
+        bad_flag (flag ^ " expects an argument")
+    | arg :: rest -> parse (arg :: acc) rest
+  in
   let blocks =
-    match List.tl (Array.to_list Sys.argv) with
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
     | [] | [ "all" ] -> all_blocks
     | args -> args
   in
-  Printf.printf "DC-spanner benchmark harness (scale: %s)\n"
-    (match scale with `Quick -> "quick" | `Standard -> "standard" | `Full -> "full");
+  Printf.printf "DC-spanner benchmark harness (scale: %s)\n" scale_name;
+  let reports = ref [] in
   List.iter
     (fun block ->
-      Trace.with_span ~name:("bench." ^ block) (fun () ->
-          match block with
-          | "table1" -> run_table1 ()
-          | "figures" -> run_figures ()
-          | "lemmas" -> run_lemmas ()
-          | "distributed" -> run_distributed ()
-          | "ablations" -> run_ablations ()
-          | "extensions" -> run_extensions ()
-          | "fault" -> run_fault ()
-          | "timing" -> run_timing ()
-          | "kernels" -> run_kernels ()
-          | "obs" -> run_obs ()
-          | other ->
-              Printf.printf
-                "unknown block %S (use \
-                 table1|figures|lemmas|distributed|ablations|extensions|fault|timing|kernels|obs)\n"
-                other))
+      match List.assoc_opt block block_runners with
+      | None ->
+          Printf.printf
+            "unknown block %S (use \
+             table1|figures|lemmas|distributed|ablations|extensions|fault|timing|kernels|obs)\n"
+            block
+      | Some run ->
+          let br = Bench_report.create ~block ~scale:scale_name in
+          Resource.sample ();
+          let t0 = Obs.now_us () in
+          Trace.with_span ~name:("bench." ^ block) (fun () -> run br);
+          Bench_report.add br ~stable:false ~units:"ms" "wall_ms" ((Obs.now_us () -. t0) /. 1e3);
+          Resource.sample ();
+          (match Obs.rss_kb () with
+          | Some kb -> Bench_report.add br ~stable:false ~units:"kb" "rss_kb" (float_of_int kb)
+          | None -> ());
+          (match Bench_report.bench_dir () with
+          | Some dir -> Printf.printf "wrote %s\n" (Bench_report.write ~dir br)
+          | None -> ());
+          reports := br :: !reports)
     blocks;
-  if !Obs.tracing then print_trace_breakdown ()
+  let reports = List.rev !reports in
+  if !Obs.tracing then print_trace_breakdown ();
+  (match !baseline_out with
+  | None -> ()
+  | Some file ->
+      Bench_report.write_baseline ~file reports;
+      Printf.printf "wrote baseline %s\n" file);
+  match !compare_with with
+  | None -> ()
+  | Some file -> (
+      match Bench_report.compare_file ~file ~tolerance:!tolerance reports with
+      | Error msg ->
+          Printf.eprintf "bench --compare: %s\n" msg;
+          exit 2
+      | Ok verdicts ->
+          let table =
+            Report.create
+              ~title:
+                (Printf.sprintf "regression gate vs %s (tolerance %.1f%%)" file !tolerance)
+              ~columns:[ "block"; "metric"; "baseline"; "current"; "delta"; "status" ]
+          in
+          let regressions = ref 0 in
+          List.iter
+            (fun v ->
+              if v.Bench_report.v_regressed then incr regressions;
+              Report.add_row table
+                [
+                  v.Bench_report.v_block;
+                  v.Bench_report.v_metric;
+                  fmt v.Bench_report.v_baseline;
+                  (if Float.is_nan v.Bench_report.v_current then "missing"
+                   else fmt v.Bench_report.v_current);
+                  (if Float.is_nan v.Bench_report.v_delta_pct then "n/a"
+                   else Printf.sprintf "%+.2f%%" v.Bench_report.v_delta_pct);
+                  (if v.Bench_report.v_regressed then "** REGRESSED **" else "ok");
+                ])
+            verdicts;
+          Report.print table;
+          if !regressions > 0 then begin
+            Printf.printf "%d metric(s) regressed past the %.1f%% tolerance\n" !regressions
+              !tolerance;
+            exit 1
+          end
+          else Printf.printf "compare ok: %d stable metric(s) within tolerance\n"
+              (List.length verdicts))

@@ -40,11 +40,62 @@ let obs_term =
             "Dump the metrics registry (counters, gauges, histograms) to $(docv) at exit — \
              JSON, or CSV when $(docv) ends in .csv.  Equivalent to setting $(b,DCS_METRICS).")
   in
-  let setup trace metrics =
-    Option.iter (fun f -> Trace.enable ~file:f) trace;
-    Option.iter (fun f -> Metrics.enable ~file:f) metrics
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Append structured JSONL events (faults, repairs, premise violations) to $(docv) at \
+             Info level.  Equivalent to setting $(b,DCS_LOG); $(b,DCS_LOG_LEVEL) picks the \
+             threshold.")
   in
-  Term.(const setup $ trace_arg $ metrics_arg)
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Record spans in memory and print a per-phase profile (wall time, allocation, major \
+             GCs) on exit.")
+  in
+  let print_profile () =
+    match Trace.profile () with
+    | [] -> ()
+    | rows ->
+        let human us =
+          if us > 1e6 then Printf.sprintf "%.2f s" (us /. 1e6)
+          else if us > 1e3 then Printf.sprintf "%.2f ms" (us /. 1e3)
+          else Printf.sprintf "%.0f us" us
+        in
+        let words w =
+          if w > 1e6 then Printf.sprintf "%.2f Mw" (w /. 1e6)
+          else if w > 1e3 then Printf.sprintf "%.1f kw" (w /. 1e3)
+          else Printf.sprintf "%.0f w" w
+        in
+        Printf.printf "\nprofile (per span, busiest first):\n";
+        Printf.printf "  %-28s %8s %10s %10s %12s %12s %6s\n" "span" "count" "total" "mean"
+          "minor alloc" "major alloc" "mGCs";
+        List.iter
+          (fun r ->
+            Printf.printf "  %-28s %8d %10s %10s %12s %12s %6d\n" r.Trace.pname r.Trace.pcount
+              (human r.Trace.ptotal_us)
+              (human (r.Trace.ptotal_us /. float_of_int (max 1 r.Trace.pcount)))
+              (words r.Trace.pminor_words) (words r.Trace.pmajor_words)
+              r.Trace.pmajor_collections)
+          rows
+  in
+  let setup trace metrics log profile =
+    Option.iter (fun f -> Trace.enable ~file:f) trace;
+    Option.iter (fun f -> Metrics.enable ~file:f) metrics;
+    Option.iter (fun f -> Log.enable ~file:f ()) log;
+    if profile then begin
+      Obs.set_tracing true;
+      at_exit print_profile
+    end;
+    Resource.sample ();
+    at_exit Resource.sample
+  in
+  Term.(const setup $ trace_arg $ metrics_arg $ log_arg $ profile_arg)
 
 (* ---- graph families ---- *)
 

@@ -96,7 +96,17 @@ let premise_warnings c g =
   | Premise.Any -> []
   | req ->
       let p = Premise.check g in
-      if Premise.satisfied req p then [] else Premise.violations req p
+      if Premise.satisfied req p then []
+      else begin
+        let vs = Premise.violations req p in
+        (* structured channel for the same warnings callers print: a sweep
+           over many graphs can grep the JSONL for premise.violation *)
+        List.iter
+          (fun v ->
+            Log.warn ~fields:[ ("construction", c.name); ("violation", v) ] "premise.violation")
+          vs;
+        vs
+      end
 
 let accepting p = List.filter (fun c -> premise_ok c p) all
 

@@ -103,10 +103,13 @@ let run ?(timeout = 4) ?(max_attempts = 5) ?(backoff_cap = 64) ~n ~network ~plan
     routing;
   let max_queue = ref (Array.fold_left (fun acc q -> max acc (List.length q)) 0 queues) in
   let round = ref 0 in
-  let drop _p =
+  let drop p =
     incr dropped;
     decr pending;
-    Metrics.incr m_dropped
+    Metrics.incr m_dropped;
+    Log.warn
+      ~fields:[ ("packet", string_of_int p.id); ("attempts", string_of_int p.attempts) ]
+      "fault_sim.drop"
   in
   (* a lost packet: schedule a retransmission with capped exponential
      backoff, or drop it when the attempt budget is spent *)
@@ -160,6 +163,11 @@ let run ?(timeout = 4) ?(max_attempts = 5) ?(backoff_cap = 64) ~n ~network ~plan
           incr reroutes;
           Metrics.incr m_retransmits;
           Metrics.incr m_reroutes;
+          if Log.enabled Log.Debug then
+            Log.debug
+              ~fields:
+                [ ("packet", string_of_int p.id); ("hops", string_of_int (Array.length path - 1)) ]
+              "fault_sim.reroute";
           queues.(src) <- p :: queues.(src)
   in
   (* Greedy schedules finish within C*D + D; faulted runs additionally pay
@@ -178,7 +186,21 @@ let run ?(timeout = 4) ?(max_attempts = 5) ?(backoff_cap = 64) ~n ~network ~plan
     (* 1. faults scheduled for this round strike *)
     (match !events with
     | (r, faults) :: rest when r = !round ->
-        List.iter apply_fault faults;
+        List.iter
+          (fun f ->
+            apply_fault f;
+            if Log.enabled Log.Info then
+              match f with
+              | Fault_plan.Fail_node v ->
+                  Log.info
+                    ~fields:[ ("round", string_of_int r); ("node", string_of_int v) ]
+                    "fault.node"
+              | Fault_plan.Fail_edge (u, v) ->
+                  Log.info
+                    ~fields:
+                      [ ("round", string_of_int r); ("edge", Printf.sprintf "%d-%d" u v) ]
+                    "fault.edge")
+          faults;
         events := rest;
         (* packets queued at nodes that just died are lost *)
         for v = 0 to n - 1 do
@@ -242,6 +264,9 @@ let run ?(timeout = 4) ?(max_attempts = 5) ?(backoff_cap = 64) ~n ~network ~plan
        flight or awaiting retransmission counts as dropped *)
     dropped := !dropped + !pending;
     Metrics.add m_dropped !pending;
+    Log.warn
+      ~fields:[ ("round", string_of_int !round); ("pending", string_of_int !pending) ]
+      "fault_sim.guard_tripped";
     pending := 0
   end;
   let delivered = ref 0 in

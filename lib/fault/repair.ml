@@ -51,6 +51,24 @@ let run ?(alpha = 3) damaged ~within =
   let connected = Connectivity.count h = Connectivity.count within in
   let dist_stretch = Trace.with_span ~name:"repair.certify" @@ fun () -> Stretch.exact within h in
   let certified = connected && dist_stretch <> max_int && dist_stretch <= alpha in
+  Log.info
+    ~fields:
+      [
+        ("connectivity_added", string_of_int connectivity_added);
+        ("stretch_added", string_of_int stretch_added);
+        ("dist_stretch", if dist_stretch = max_int then "inf" else string_of_int dist_stretch);
+        ("certified", string_of_bool certified);
+      ]
+    "repair.done";
+  if not certified then
+    Log.warn
+      ~fields:
+        [
+          ("connected", string_of_bool connected);
+          ("dist_stretch", if dist_stretch = max_int then "inf" else string_of_int dist_stretch);
+          ("alpha", string_of_int alpha);
+        ]
+      "repair.uncertified";
   {
     spanner = h;
     added = List.rev !added;

@@ -3,6 +3,7 @@ let width = Sys.int_size (* 63 usable bits per native word on 64-bit *)
 let m_sweeps = Metrics.counter "bfs_batch.sweeps"
 let m_words = Metrics.counter "bfs_batch.words"
 let m_reuses = Metrics.counter "bfs.scratch_reuses"
+let m_sweep_us = Metrics.histo "bfs_batch.sweep_us" (* wall time per batched sweep *)
 
 (* shared with the scalar kernel: one (source, node) discovery = one visit,
    so dashboards see total BFS work regardless of which kernel ran it *)
@@ -55,6 +56,7 @@ let run ?(bound = max_int) (g : Csr.t) sources =
       invalid_arg
         (Printf.sprintf "Bfs_batch.run: %d sources exceed the word width %d" k width);
     let n = g.Csr.n in
+    let t_start = if !Obs.metrics then Obs.now_us () else 0.0 in
     let s = scratch n in
     let seen = s.seen and frontier = s.frontier and next = s.next in
     let xadj = g.Csr.xadj and adjncy = g.Csr.adjncy in
@@ -117,7 +119,8 @@ let run ?(bound = max_int) (g : Csr.t) sources =
     if !Obs.metrics then begin
       Metrics.incr m_sweeps;
       Metrics.add m_words !words;
-      Metrics.add m_visited !visited
+      Metrics.add m_visited !visited;
+      Metrics.observe m_sweep_us (int_of_float (Obs.now_us () -. t_start))
     end;
     dist
   end

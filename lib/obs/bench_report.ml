@@ -1,0 +1,401 @@
+type metric = {
+  m_name : string;
+  m_value : float;
+  m_units : string;
+  m_higher_is_better : bool;
+  m_stable : bool;
+}
+
+type t = {
+  block : string;
+  scale : string;
+  mutable metrics : metric list; (* reversed *)
+}
+
+let create ~block ~scale = { block; scale; metrics = [] }
+
+let add t ?(higher_is_better = false) ?(stable = true) ~units name value =
+  if name = "" then invalid_arg "Bench_report.add: empty metric name";
+  t.metrics <-
+    { m_name = name; m_value = value; m_units = units; m_higher_is_better = higher_is_better; m_stable = stable }
+    :: t.metrics
+
+let block_name t = t.block
+let scale_name t = t.scale
+let metrics t = List.rev t.metrics
+
+(* ---- run identity ---- *)
+
+(* Enough of the git state to label a report, without shelling out: honor an
+   explicit DCS_GIT_REV, else follow .git/HEAD one level.  Reports must never
+   fail because the tree isn't a checkout. *)
+let read_first_line path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> match input_line ic with line -> Some (String.trim line) | exception End_of_file -> None)
+
+let git_rev () =
+  match Sys.getenv_opt "DCS_GIT_REV" with
+  | Some r when String.trim r <> "" -> String.trim r
+  | _ -> (
+      let short h = if String.length h > 12 then String.sub h 0 12 else h in
+      match read_first_line ".git/HEAD" with
+      | None -> "unknown"
+      | Some head ->
+          let prefix = "ref: " in
+          if String.length head > String.length prefix
+             && String.sub head 0 (String.length prefix) = prefix
+          then
+            let refname = String.sub head (String.length prefix) (String.length head - String.length prefix) in
+            match read_first_line (Filename.concat ".git" refname) with
+            | Some h when h <> "" -> short h
+            | _ -> "unknown"
+          else short head)
+
+(* Mirrors Parallel.default_domains (lib/util depends on us, so we cannot
+   call it): DCS_DOMAINS clamped to [1, 64], else min(4, recommended). *)
+let default_domains () =
+  match Sys.getenv_opt "DCS_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with Some d -> max 1 (min 64 d) | None -> 1)
+  | None -> max 1 (min 4 (Domain.recommended_domain_count ()))
+
+(* ---- rendering ---- *)
+
+let schema_version = "dcs-bench/1"
+let baseline_schema_version = "dcs-bench-baseline/1"
+
+let metric_json m =
+  Printf.sprintf {|{"name":"%s","value":%s,"unit":"%s","higher_is_better":%b,"stable":%b}|}
+    (Obs.json_escape m.m_name) (Obs.json_float m.m_value) (Obs.json_escape m.m_units)
+    m.m_higher_is_better m.m_stable
+
+let metrics_json ms =
+  ms |> List.map (fun m -> "\n    " ^ metric_json m) |> String.concat ","
+
+let to_json t =
+  Printf.sprintf
+    {|{
+  "schema":"%s",
+  "block":"%s",
+  "scale":"%s",
+  "git_rev":"%s",
+  "host":"%s",
+  "domains":%d,
+  "unix_time":%.0f,
+  "metrics":[%s]
+}
+|}
+    schema_version (Obs.json_escape t.block) (Obs.json_escape t.scale)
+    (Obs.json_escape (git_rev ()))
+    (Obs.json_escape (Unix.gethostname ()))
+    (default_domains ()) (Unix.time ())
+    (metrics_json (metrics t) ^ if t.metrics = [] then "" else "\n  ")
+
+let bench_dir () =
+  match Sys.getenv_opt "DCS_BENCH_DIR" with
+  | Some d when String.trim d <> "" -> Some (String.trim d)
+  | _ -> None
+
+let write ~dir t =
+  let path = Filename.concat dir ("BENCH_" ^ t.block ^ ".json") in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_json t));
+  path
+
+(* Baselines keep only the stable (seeded-deterministic) metrics: wall times
+   and RSS vary by machine, so committing them would make the compare gate
+   flap.  Stability is declared at [add] time by the block that owns the
+   metric. *)
+let baseline_to_json reports =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"schema\":\"%s\",\n  \"scale\":\"%s\",\n  \"blocks\":["
+       baseline_schema_version
+       (match reports with [] -> "" | r :: _ -> Obs.json_escape r.scale));
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      let stable = List.filter (fun m -> m.m_stable) (metrics r) in
+      Buffer.add_string buf
+        (Printf.sprintf "\n  {\"block\":\"%s\",\"metrics\":[%s]}" (Obs.json_escape r.block)
+           (String.concat "," (List.map metric_json stable))))
+    reports;
+  Buffer.add_string buf "\n]\n}\n";
+  Buffer.contents buf
+
+let write_baseline ~file reports =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (baseline_to_json reports))
+
+(* ---- a minimal JSON reader, just enough for our own documents ---- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'u' ->
+              (* we only read our own ASCII output; keep the escape verbatim *)
+              Buffer.add_string buf "\\u";
+              advance ();
+              go ()
+          | Some c -> Buffer.add_char buf c; advance (); go ()
+          | None -> fail "unterminated escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Jnum f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let members = ref [] in
+          let rec members_loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            members := (k, v) :: !members;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members_loop ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members_loop ();
+          Jobj (List.rev !members)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jlist []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items_loop ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          items_loop ();
+          Jlist (List.rev !items)
+        end
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let member key = function Jobj kvs -> List.assoc_opt key kvs | _ -> None
+
+let str_of = function Jstr s -> Some s | _ -> None
+let num_of = function Jnum f -> Some f | Jnull -> Some Float.nan | _ -> None
+let bool_of = function Jbool b -> Some b | _ -> None
+let list_of = function Jlist l -> Some l | _ -> None
+
+(* ---- regression compare ---- *)
+
+type verdict = {
+  v_block : string;
+  v_metric : string;
+  v_units : string;
+  v_baseline : float;
+  v_current : float;
+  v_delta_pct : float;
+  v_regressed : bool;
+}
+
+let delta_pct ~baseline ~current =
+  if Float.is_nan current then Float.nan
+  else if baseline = 0.0 then if current = 0.0 then 0.0 else 100.0
+  else (current -. baseline) /. Float.abs baseline *. 100.0
+
+(* A metric regresses when it moves past the tolerance band in its bad
+   direction; a missing or non-finite current value is always a regression
+   (schema drift is exactly what the gate must catch). *)
+let judge ~tolerance ~higher_is_better ~baseline ~current =
+  if Float.is_nan current then true
+  else begin
+    let band = Float.abs baseline *. (tolerance /. 100.0) in
+    if higher_is_better then current < baseline -. band -. 1e-9
+    else current > baseline +. band +. 1e-9
+  end
+
+let baseline_blocks doc =
+  (* accept both a combined baseline document and a single BENCH_<block>.json *)
+  match member "blocks" doc with
+  | Some (Jlist blocks) -> Some blocks
+  | Some _ -> None
+  | None -> ( match member "block" doc with Some _ -> Some [ doc ] | None -> None)
+
+let compare_json ~baseline ~tolerance reports =
+  match parse_json baseline with
+  | exception Parse_error msg -> Error (Printf.sprintf "baseline: %s" msg)
+  | doc -> (
+      match baseline_blocks doc with
+      | None -> Error "baseline: neither a baseline document nor a block report"
+      | Some blocks -> (
+          let scale_mismatch =
+            match (member "scale" doc, reports) with
+            | Some (Jstr s), r :: _ when s <> r.scale ->
+                Some (Printf.sprintf "baseline scale %S but current run is %S" s r.scale)
+            | _ -> None
+          in
+          match scale_mismatch with
+          | Some msg -> Error msg
+          | None ->
+              let verdicts = ref [] in
+              let matched = ref 0 in
+              List.iter
+                (fun b ->
+                  let bname = Option.bind (member "block" b) str_of in
+                  let bmetrics = Option.bind (member "metrics" b) list_of in
+                  match (bname, bmetrics) with
+                  | Some bname, Some bmetrics -> (
+                      match List.find_opt (fun r -> r.block = bname) reports with
+                      | None -> () (* baseline block not exercised this run *)
+                      | Some r ->
+                          incr matched;
+                          List.iter
+                            (fun bm ->
+                              match
+                                ( Option.bind (member "name" bm) str_of,
+                                  Option.bind (member "value" bm) num_of )
+                              with
+                              | Some mname, Some bval ->
+                                  let units =
+                                    match Option.bind (member "unit" bm) str_of with
+                                    | Some u -> u
+                                    | None -> ""
+                                  in
+                                  let higher =
+                                    match Option.bind (member "higher_is_better" bm) bool_of with
+                                    | Some h -> h
+                                    | None -> false
+                                  in
+                                  let cur =
+                                    match
+                                      List.find_opt (fun m -> m.m_name = mname) (metrics r)
+                                    with
+                                    | Some m -> m.m_value
+                                    | None -> Float.nan
+                                  in
+                                  verdicts :=
+                                    {
+                                      v_block = bname;
+                                      v_metric = mname;
+                                      v_units = units;
+                                      v_baseline = bval;
+                                      v_current = cur;
+                                      v_delta_pct = delta_pct ~baseline:bval ~current:cur;
+                                      v_regressed =
+                                        judge ~tolerance ~higher_is_better:higher ~baseline:bval
+                                          ~current:cur;
+                                    }
+                                    :: !verdicts
+                              | _ -> ())
+                            bmetrics)
+                  | _ -> ())
+                blocks;
+              if !matched = 0 then
+                Error "baseline matched none of the blocks that ran (nothing to compare)"
+              else Ok (List.rev !verdicts)))
+
+let compare_file ~file ~tolerance reports =
+  match open_in file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let body =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      compare_json ~baseline:body ~tolerance reports

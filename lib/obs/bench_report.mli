@@ -1,0 +1,80 @@
+(** One schema for every bench block, and the regression gate over it.
+
+    A report is the structured result of one bench block: identity (block
+    name, scale, git revision, host, domain count) plus metric rows, each a
+    [(name, value, unit)] with two bits of intent — [higher_is_better] (the
+    regression direction) and [stable] (seeded-deterministic, so identical
+    on every machine; wall times and RSS are not).  Blocks write
+    [BENCH_<block>.json] into the directory named by [DCS_BENCH_DIR].
+
+    Baselines are the stable rows only, combined over blocks into one
+    committed document; [bench --compare BASELINE.json --tolerance <pct>]
+    re-runs the blocks and fails when any stable metric moves past the
+    tolerance band in its bad direction.  See EXPERIMENTS.md for the schema
+    and the baseline-refresh workflow. *)
+
+type t
+
+type metric = {
+  m_name : string;
+  m_value : float;
+  m_units : string;
+  m_higher_is_better : bool;  (** regression direction; [false] = lower is better *)
+  m_stable : bool;  (** deterministic under the seeded workload; baseline-eligible *)
+}
+
+val create : block:string -> scale:string -> t
+(** A fresh report for one bench block at one scale ([quick] / [standard] /
+    [full]). *)
+
+val add : t -> ?higher_is_better:bool -> ?stable:bool -> units:string -> string -> float -> unit
+(** [add t ~units name value] appends one metric row.  [higher_is_better]
+    defaults to [false] (most metrics are costs), [stable] to [true].
+    Raises [Invalid_argument] on an empty name. *)
+
+val block_name : t -> string
+val scale_name : t -> string
+
+val metrics : t -> metric list
+(** The rows in [add] order. *)
+
+val to_json : t -> string
+(** The [BENCH_<block>.json] document ([schema] key ["dcs-bench/1"]). *)
+
+val write : dir:string -> t -> string
+(** Write {!to_json} to [dir/BENCH_<block>.json]; returns the path. *)
+
+val bench_dir : unit -> string option
+(** The [DCS_BENCH_DIR] export directory, if set and nonempty. *)
+
+val baseline_to_json : t list -> string
+(** The combined baseline document ([schema] ["dcs-bench-baseline/1"]):
+    stable metrics only, one entry per report. *)
+
+val write_baseline : file:string -> t list -> unit
+(** Write {!baseline_to_json} to [file]. *)
+
+type verdict = {
+  v_block : string;
+  v_metric : string;
+  v_units : string;
+  v_baseline : float;
+  v_current : float;  (** [nan] when the metric vanished from the current run *)
+  v_delta_pct : float;  (** signed percent change relative to baseline *)
+  v_regressed : bool;
+}
+
+val compare_json : baseline:string -> tolerance:float -> t list -> (verdict list, string) result
+(** Judge the given reports against a baseline document (or a single block
+    report).  [tolerance] is a percentage band around each baseline value; a
+    metric regresses when it leaves the band in its bad direction, and a
+    baseline metric missing from the current run always regresses.  Baseline
+    blocks that did not run this invocation are skipped; matching zero
+    blocks, a scale mismatch, or unparseable JSON is an [Error]. *)
+
+val compare_file : file:string -> tolerance:float -> t list -> (verdict list, string) result
+(** {!compare_json} over the contents of [file]. *)
+
+val git_rev : unit -> string
+(** [DCS_GIT_REV] if set, else the checkout's HEAD commit (short), else
+    ["unknown"].  Never raises. *)

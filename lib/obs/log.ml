@@ -1,0 +1,157 @@
+type level = Debug | Info | Warn | Error
+
+let level_index = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type entry = {
+  ts_us : float;
+  level : level;
+  event : string;
+  domain : int;
+  fields : (string * string) list;
+}
+
+(* The off threshold is one past Error: no level passes, [event] is a load,
+   a compare and a return.
+   DOMAIN-SAFE: [threshold] is an [Atomic.t] read on the hot path and written
+   only by [set_level]/[enable] during single-domain startup (or by tests
+   between parallel sections); a stale read drops or admits one entry, never
+   corrupts. *)
+let off = level_index Error + 1
+let threshold = Atomic.make off
+
+let enabled level = level_index level >= Atomic.get threshold
+
+(* Ring buffer of the most recent entries, for tests and post-mortem dumps
+   that don't want a sink file.  1024 entries is enough to hold a full fault
+   sweep's event stream at quick scale.
+   DOMAIN-SAFE: [ring], [cursor], [total] and [sink] are only touched under
+   [mutex] (or by [enable] during single-domain startup). *)
+let capacity = 1024
+let mutex = Mutex.create ()
+let ring : entry option array = Array.make capacity None
+let cursor = ref 0
+let total = ref 0
+let sink : out_channel option ref = ref None
+let hook_registered = ref false
+
+let render e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"ts_us":%s,"level":"%s","event":"%s","domain":%d|}
+       (Obs.json_float e.ts_us) (level_name e.level) (Obs.json_escape e.event) e.domain);
+  if e.fields <> [] then begin
+    Buffer.add_string buf ",\"fields\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf {|"%s":"%s"|} (Obs.json_escape k) (Obs.json_escape v)))
+      e.fields;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let record e =
+  Mutex.protect mutex (fun () ->
+      ring.(!cursor) <- Some e;
+      cursor := (!cursor + 1) mod capacity;
+      incr total;
+      match !sink with
+      | None -> ()
+      | Some oc -> (
+          (* per-line flush: the sink must be tailable and survive a crash;
+             a sink already closed by the exit hook must not raise *)
+          try
+            output_string oc (render e);
+            output_char oc '\n';
+            flush oc
+          with Sys_error _ -> sink := None))
+
+(* When no logging is configured at all, errors still surface as one stderr
+   line each — these sites replaced bare [eprintf] warnings and must not go
+   silent by default.  Lower levels are dropped: a disabled log must never
+   spam stderr from inside a hot loop. *)
+let fallback_stderr e =
+  let fields =
+    String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) e.fields)
+  in
+  Printf.eprintf "dcs: [%s] %s%s\n%!" (level_name e.level) e.event fields
+
+let event ?(fields = []) level name =
+  if enabled level then
+    record { ts_us = Obs.now_us (); level; event = name; domain = (Domain.self () :> int); fields }
+  else if level = Error && Atomic.get threshold >= off then
+    fallback_stderr
+      { ts_us = Obs.now_us (); level; event = name; domain = (Domain.self () :> int); fields }
+
+let debug ?fields name = event ?fields Debug name
+let info ?fields name = event ?fields Info name
+let warn ?fields name = event ?fields Warn name
+let error ?fields name = event ?fields Error name
+
+let recent () =
+  Mutex.protect mutex (fun () ->
+      let n = min !total capacity in
+      let first = if !total <= capacity then 0 else !cursor in
+      List.init n (fun i ->
+          match ring.((first + i) mod capacity) with
+          | Some e -> e
+          | None -> assert false))
+
+let clear () =
+  Mutex.protect mutex (fun () ->
+      Array.fill ring 0 capacity None;
+      cursor := 0;
+      total := 0)
+
+let set_level level = Atomic.set threshold (level_index level)
+
+let disable () =
+  Atomic.set threshold off;
+  Mutex.protect mutex (fun () ->
+      (match !sink with Some oc -> close_out_noerr oc | None -> ());
+      sink := None)
+
+(* An unopenable sink must not turn the run into a crash; keep the ring and
+   the level so [recent] still works. *)
+let enable ?(level = Info) ~file () =
+  set_level level;
+  Mutex.protect mutex (fun () ->
+      (match !sink with Some oc -> close_out_noerr oc | None -> ());
+      match open_out file with
+      | oc ->
+          sink := Some oc;
+          if not !hook_registered then begin
+            hook_registered := true;
+            at_exit (fun () ->
+                Mutex.protect mutex (fun () ->
+                    match !sink with
+                    | Some oc ->
+                        close_out_noerr oc;
+                        sink := None
+                    | None -> ()))
+          end
+      | exception Sys_error msg ->
+          sink := None;
+          Printf.eprintf "dcs_obs: cannot open log sink: %s\n%!" msg)
+
+let () =
+  match Sys.getenv_opt "DCS_LOG" with
+  | Some f when String.trim f <> "" ->
+      let level =
+        match Sys.getenv_opt "DCS_LOG_LEVEL" with
+        | Some s -> ( match level_of_string s with Some l -> l | None -> Info)
+        | None -> Info
+      in
+      enable ~level ~file:(String.trim f) ()
+  | _ -> ()

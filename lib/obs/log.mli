@@ -1,0 +1,74 @@
+(** Leveled structured logging with a JSONL sink and an in-memory ring.
+
+    Events are named ([fault.node], [repair.uncertified], …) and carry
+    key/value context fields; each one is appended to a bounded ring buffer
+    (readable via {!recent}, for tests and post-mortem inspection) and, when a
+    sink is configured, written as one JSON line — machine-parseable with any
+    JSONL tool, one object per event:
+
+    {v {"ts_us":1234,"level":"warn","event":"fault_sim.drop","domain":0,"fields":{"packet":"17"}} v}
+
+    {b Zero overhead when disabled.}  {!event} checks an atomic threshold
+    first; with logging off (the default) the call is a load, a compare and a
+    return.  Expensive context (anything you would compute just to log it)
+    should be gated on {!enabled}.  [Error]-level events are the exception:
+    they fall back to a single stderr line even when logging is off, because
+    they replaced ad-hoc [eprintf] warnings that must not go silent.
+
+    Activation: [DCS_LOG=<file>] (JSONL sink, level from [DCS_LOG_LEVEL],
+    default [info]) or the CLI [--log FILE] option.  Logging never consumes
+    randomness or changes algorithm behavior (the determinism contract of
+    HACKING.md). *)
+
+type level = Debug | Info | Warn | Error
+
+type entry = {
+  ts_us : float;  (** microseconds since process start, {!Obs.now_us} epoch *)
+  level : level;
+  event : string;  (** dotted event name, e.g. [repair.done] *)
+  domain : int;  (** id of the domain that emitted the event *)
+  fields : (string * string) list;  (** context key/value pairs *)
+}
+
+val enabled : level -> bool
+(** [enabled l] is true when an event at level [l] would be recorded.  Use it
+    to gate context computation that exists only to be logged. *)
+
+val event : ?fields:(string * string) list -> level -> string -> unit
+(** Record one event (ring buffer + sink if configured).  No-op below the
+    active threshold, except [Error] which falls back to stderr when no
+    logging is configured at all. *)
+
+val debug : ?fields:(string * string) list -> string -> unit
+val info : ?fields:(string * string) list -> string -> unit
+val warn : ?fields:(string * string) list -> string -> unit
+val error : ?fields:(string * string) list -> string -> unit
+
+val set_level : level -> unit
+(** Admit events at this level and above (ring buffer only unless a sink was
+    opened with {!enable}). *)
+
+val enable : ?level:level -> file:string -> unit -> unit
+(** Open [file] as the JSONL sink (truncating) and set the threshold
+    ([Info] by default).  The sink is flushed per line and closed at process
+    exit.  An unopenable sink warns on stderr and leaves only the ring
+    active. *)
+
+val disable : unit -> unit
+(** Close any sink and raise the threshold above [Error] (tests). *)
+
+val recent : unit -> entry list
+(** The buffered entries, oldest first (at most the ring capacity, 1024). *)
+
+val clear : unit -> unit
+(** Drop all buffered entries, keeping level and sink (tests). *)
+
+val render : entry -> string
+(** The JSONL rendering of one entry (no trailing newline). *)
+
+val level_of_string : string -> level option
+(** Parse ["debug"], ["info"], ["warn"]/["warning"], ["error"]
+    (case-insensitive). *)
+
+val level_name : level -> string
+(** The lowercase name used in rendered entries. *)

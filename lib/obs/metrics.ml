@@ -115,8 +115,49 @@ let nonempty_buckets h =
   List.rev !out
 
 (* The exclusive upper bound of bucket [i] (1 for the v <= 0 bucket is
-   rendered as 1: "v < 1"). *)
-let bucket_lt i = if i = 0 then 1 else 1 lsl i
+   rendered as 1: "v < 1").  [1 lsl i] overflows OCaml's 63-bit int for the
+   top buckets (i >= 62), which used to render negative bounds; saturate to
+   [max_int] instead. *)
+let bucket_lt i = if i = 0 then 1 else if i >= 62 then max_int else 1 lsl i
+
+(* The inclusive lower bound of bucket [i]; bucket 0 holds v <= 0 and has no
+   finite lower bound, so report 0 (callers clamp to the observed min). *)
+let bucket_lo i = if i <= 1 then 0 else 1 lsl (i - 1)
+
+(* Quantile estimate interpolated from the pow-2 buckets: find the bucket
+   holding the q-th rank, place the rank at the bucket's midpoint convention
+   (rank + 0.5 of the way through the bucket's own counts), and clamp into
+   the exact observed [min, max].  Resolution is the bucket width — within a
+   factor of 2 above bucket 1 — which is what a pow-2 histogram can promise;
+   exactness at the extremes comes from the clamp.  [nan] when empty. *)
+let histo_quantile h q =
+  let count = histo_count h in
+  if count = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int (count - 1) in
+    let bucket = ref 0 and below = ref 0 in
+    (* the scan always terminates inside the last nonempty bucket, because
+       target <= count - 1 < count = the final cumulative total *)
+    (try
+       let cum = ref 0 in
+       for i = 0 to Array.length h.buckets - 1 do
+         let c = Atomic.get h.buckets.(i) in
+         if c > 0 && target < float_of_int (!cum + c) then begin
+           bucket := i;
+           below := !cum;
+           raise Exit
+         end;
+         cum := !cum + c
+       done
+     with Exit -> ());
+    let c = max 1 (Atomic.get h.buckets.(!bucket)) in
+    let frac = (target -. float_of_int !below +. 0.5) /. float_of_int c in
+    let lo = float_of_int (bucket_lo !bucket) and hi = float_of_int (bucket_lt !bucket) in
+    let v = lo +. (frac *. (hi -. lo)) in
+    let mn = float_of_int (Atomic.get h.mn) and mx = float_of_int (Atomic.get h.mx) in
+    Float.max mn (Float.min mx v)
+  end
 
 let to_json () =
   let buf = Buffer.create 1024 in
@@ -155,8 +196,13 @@ let to_json () =
       in
       item
         (Printf.sprintf
-           "\n  \"%s\":{\"count\":%d,\"sum\":%d,\"mean\":%s,\"min\":%d,\"max\":%d,\"buckets\":[%s]}"
-           (Obs.json_escape name) count sum (Obs.json_float mean) mn mx buckets))
+           "\n  \
+            \"%s\":{\"count\":%d,\"sum\":%d,\"mean\":%s,\"min\":%d,\"max\":%d,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"buckets\":[%s]}"
+           (Obs.json_escape name) count sum (Obs.json_float mean) mn mx
+           (Obs.json_float (histo_quantile h 0.5))
+           (Obs.json_float (histo_quantile h 0.9))
+           (Obs.json_float (histo_quantile h 0.99))
+           buckets))
     (sorted_names histos);
   Buffer.add_string buf "}\n}\n";
   Buffer.contents buf
@@ -180,10 +226,19 @@ let to_csv () =
     (fun name ->
       let h = Hashtbl.find histos name in
       let count, sum, mn, mx = histo_stats h in
+      let mean = if count = 0 then 0.0 else float_of_int sum /. float_of_int count in
       row "histo" name "count" (string_of_int count);
       row "histo" name "sum" (string_of_int sum);
+      row "histo" name "mean" (Obs.json_float mean);
       row "histo" name "min" (string_of_int mn);
-      row "histo" name "max" (string_of_int mx))
+      row "histo" name "max" (string_of_int mx);
+      row "histo" name "p50" (Obs.json_float (histo_quantile h 0.5));
+      row "histo" name "p90" (Obs.json_float (histo_quantile h 0.9));
+      row "histo" name "p99" (Obs.json_float (histo_quantile h 0.99));
+      List.iter
+        (fun (i, c) ->
+          row "histo" name (Printf.sprintf "bucket_lt_%d" (bucket_lt i)) (string_of_int c))
+        (nonempty_buckets h))
     (sorted_names histos);
   Buffer.contents buf
 
@@ -218,7 +273,8 @@ let hook_registered = ref false
 (* An unwritable sink must not turn a finished run into a non-zero exit. *)
 let write_or_warn f =
   try write f
-  with Sys_error msg -> Printf.eprintf "dcs_obs: cannot write metrics: %s\n%!" msg
+  with Sys_error msg ->
+    Log.error ~fields:[ ("sink", "metrics"); ("path", f); ("error", msg) ] "obs.write_failed"
 
 let enable ~file =
   Obs.set_metrics true;

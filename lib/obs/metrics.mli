@@ -57,12 +57,32 @@ val observe : histo -> int -> unit
 val histo_stats : histo -> int * int * int * int
 (** [(count, sum, min, max)]; [(0, 0, 0, 0)] when empty. *)
 
+val histo_quantile : histo -> float -> float
+(** [histo_quantile h q] with [q] in [[0, 1]] ([0.5] is the median) estimates
+    the q-th quantile by linear interpolation inside the pow-2 bucket holding
+    that rank, clamped into the exact observed [[min, max]].  Accurate to the
+    bucket width (a factor of 2); [nan] when the histogram is empty (which
+    {!Obs.json_float} renders as [null]).  [q] outside [[0, 1]] is clamped. *)
+
+val bucket_of : int -> int
+(** The bucket index an observation lands in: [0] for [v <= 0], otherwise
+    [i >= 1] such that [2^(i-1) <= v < 2^i].  Exposed for the histogram
+    property tests. *)
+
+val bucket_lt : int -> int
+(** The exclusive upper bound of bucket [i] ([1] for bucket 0; saturated to
+    [max_int] for the top buckets where [1 lsl i] would overflow). *)
+
 val to_json : unit -> string
 (** The whole registry as a JSON document (counters folded, metrics sorted
-    by name — deterministic for a deterministic workload). *)
+    by name — deterministic for a deterministic workload).  Histograms carry
+    [count]/[sum]/[mean]/[min]/[max], the [p50]/[p90]/[p99] quantile
+    estimates, and the nonempty buckets. *)
 
 val to_csv : unit -> string
-(** The registry as [kind,name,field,value] CSV rows. *)
+(** The registry as [kind,name,field,value] CSV rows — the same fields as
+    {!to_json}, including [mean], [p50]/[p90]/[p99] and one
+    [bucket_lt_<bound>] row per nonempty bucket. *)
 
 val write : string -> unit
 (** Write the registry to a file: CSV when the path ends in [.csv],

@@ -29,6 +29,43 @@ let json_escape s =
   Buffer.contents buf
 
 let json_float x =
-  if Float.is_nan x || Float.abs x = Float.infinity then "0"
+  if Float.is_nan x || Float.abs x = Float.infinity then "null"
   else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
   else Printf.sprintf "%.6g" x
+
+(* ---- resident-set sampling ---- *)
+
+(* DOMAIN-SAFE: a one-way latch cleared on the first failed probe; a stale
+   [true] read costs one more failing open, a stale [false] read skips one
+   sample.  Never set back to [true]. *)
+let statm_available = ref true
+
+(* /proc/<pid>/statm reports sizes in pages; the kernel ABI fixes the page
+   size at 4 KiB on every platform we target, so we avoid shelling out to
+   getconf and convert directly. *)
+let page_kb = 4
+
+let rss_kb () =
+  if not !statm_available then None
+  else
+    match open_in "/proc/self/statm" with
+    | exception Sys_error _ ->
+        statm_available := false;
+        None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            match String.split_on_char ' ' (input_line ic) with
+            | exception End_of_file ->
+                statm_available := false;
+                None
+            | _size :: resident :: _ -> (
+                match int_of_string_opt resident with
+                | Some pages -> Some (pages * page_kb)
+                | None ->
+                    statm_available := false;
+                    None)
+            | _ ->
+                statm_available := false;
+                None)

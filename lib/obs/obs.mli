@@ -33,5 +33,11 @@ val json_escape : string -> string
     that ["\"" ^ json_escape s ^ "\""] is a valid JSON string literal. *)
 
 val json_float : float -> string
-(** A JSON-parseable rendering of a float ([nan]/[inf] map to [0], JSON has
-    no spelling for them). *)
+(** A JSON-parseable rendering of a float.  [nan] and the infinities map to
+    [null] — JSON has no spelling for them, and fabricating [0] would smuggle
+    an invented value into means and durations. *)
+
+val rss_kb : unit -> int option
+(** The process resident-set size in KiB, read from [/proc/self/statm].
+    [None] where procfs is unavailable (the probe is attempted once and the
+    failure latched, so repeated calls stay cheap everywhere). *)

@@ -1,0 +1,22 @@
+let g_heap_words = Metrics.gauge "resource.heap_words"
+let g_rss_kb = Metrics.gauge "resource.rss_kb"
+
+let heap_words () = (Gc.quick_stat ()).Gc.heap_words
+
+let rss_kb = Obs.rss_kb
+
+let sample () =
+  if !Obs.metrics || !Obs.tracing then begin
+    let heap = heap_words () in
+    let rss = Obs.rss_kb () in
+    Metrics.set_gauge g_heap_words heap;
+    (match rss with Some kb -> Metrics.set_gauge g_rss_kb kb | None -> ());
+    let values =
+      ("heap_words", float_of_int heap)
+      :: (match rss with Some kb -> [ ("rss_kb", float_of_int kb) ] | None -> [])
+    in
+    Trace.counter ~name:"memory" values
+  end
+
+let peak_rss_kb () = Metrics.gauge_peak g_rss_kb
+let peak_heap_words () = Metrics.gauge_peak g_heap_words

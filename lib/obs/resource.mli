@@ -1,0 +1,32 @@
+(** Process resource gauges: heap size and resident-set size.
+
+    {!sample} snapshots both and records them twice over — as the
+    [resource.heap_words] / [resource.rss_kb] gauges (so metric dumps carry
+    [last] and [peak]) and as a ["memory"] Chrome-trace counter sample (so
+    traces show the memory timeline).  Call it at phase boundaries: the CLI
+    samples at startup and exit, the bench harness around every block, and
+    {!Trace.with_span} emits the trace-side sample at every span end on its
+    own.
+
+    Peaks are only as good as the sampling points — this is checkpoint
+    sampling, not an allocator hook.  A no-op unless metrics or tracing is
+    enabled. *)
+
+val sample : unit -> unit
+(** Record one heap/RSS snapshot into the gauges (metrics enabled) and the
+    ["memory"] trace counter (tracing enabled); no-op when both are off. *)
+
+val heap_words : unit -> int
+(** Current major+minor heap size in words ([Gc.quick_stat]); always
+    available regardless of the observability flags. *)
+
+val rss_kb : unit -> int option
+(** Current resident-set size in KiB; [None] without procfs.  Alias of
+    {!Obs.rss_kb}. *)
+
+val peak_rss_kb : unit -> int
+(** Largest RSS seen by any {!sample} so far (0 before the first enabled
+    sample or without procfs). *)
+
+val peak_heap_words : unit -> int
+(** Largest heap size seen by any {!sample} so far. *)

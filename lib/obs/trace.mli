@@ -22,14 +22,29 @@ type span = {
   dur_us : float;
   minor_words : float;  (** words allocated in the domain's minor heap *)
   major_words : float;
+  major_collections : int;  (** major GC cycles completed while open *)
   args : (string * string) list;  (** extra key/value payload *)
+}
+
+type counter_sample = {
+  cname : string;  (** counter track name, e.g. ["memory"] *)
+  ctid : int;
+  cts_us : float;
+  values : (string * float) list;  (** one series per key *)
 }
 
 val with_span : ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a
 (** [with_span ~name f] runs [f ()], recording a span around it when tracing
     is enabled.  The span is recorded (with the duration up to the raise)
     even if [f] raises; the exception is re-raised.  [args] adds extra
-    key/value pairs to the event's [args] object. *)
+    key/value pairs to the event's [args] object.  Each span end also emits a
+    ["memory"] counter sample (current [heap_words], plus [rss_kb] where
+    procfs exists), wall-synchronized to the span's end timestamp. *)
+
+val counter : ?ts_us:float -> name:string -> (string * float) list -> unit
+(** [counter ~name values] records one sample of the counter track [name]
+    (Chrome ["ph":"C"]; each key of [values] renders as one stacked series).
+    No-op when tracing is disabled.  [ts_us] defaults to now. *)
 
 val instant : ?args:(string * string) list -> string -> unit
 (** [instant name] records a zero-duration instant event (a vertical tick in
@@ -42,16 +57,33 @@ val enable : file:string -> unit
 val snapshot : unit -> span list
 (** All spans recorded so far, in completion order.  Thread-safe. *)
 
+val counter_snapshot : unit -> counter_sample list
+(** All counter samples recorded so far, in record order.  Thread-safe. *)
+
 val clear : unit -> unit
-(** Drop all recorded spans (tests). *)
+(** Drop all recorded spans and counter samples (tests). *)
 
 val to_json : unit -> string
-(** The recorded spans as a Chrome trace-event JSON document:
+(** The recorded spans (["ph":"X"]) and counter samples (["ph":"C"]) as a
+    Chrome trace-event JSON document:
     [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
 
 val summary : unit -> (string * int * float) list
 (** Per-span-name aggregate [(name, count, total_us)], sorted by name; the
     phase-breakdown table of the bench harness is rendered from this. *)
+
+type profile_row = {
+  pname : string;
+  pcount : int;
+  ptotal_us : float;
+  pminor_words : float;
+  pmajor_words : float;
+  pmajor_collections : int;
+}
+
+val profile : unit -> profile_row list
+(** Per-span-name wall/alloc/GC attribution, busiest first (ties broken by
+    name).  The CLI's [--profile] table is rendered from this. *)
 
 val write : string -> unit
 (** Write {!to_json} to the given path. *)

@@ -5,6 +5,10 @@
 
 let weight load = 4.0 ** float_of_int (min load 30)
 
+(* per-request routing latency (one observation per Dijkstra call,
+   including rip-up rerouting passes) *)
+let m_pair_us = Metrics.histo "congestion_opt.pair_us"
+
 module Pq = struct
   (* Binary min-heap over (cost, state id). *)
   type t = { mutable data : (float * int) array; mutable len : int }
@@ -135,10 +139,12 @@ let route ?(rounds = 3) ?(slack = 0) g rng problem =
     problem;
   let route_one i =
     let { Routing.src; dst } = problem.(i) in
+    let t_start = if !Obs.metrics then Obs.now_us () else 0.0 in
     match
       weighted_bounded_path g ~loads ~src ~dst ~bound:bounds.(i) ~dist_dst:dist_dsts.(i)
     with
     | Some p ->
+        if !Obs.metrics then Metrics.observe m_pair_us (int_of_float (Obs.now_us () -. t_start));
         paths.(i) <- p;
         add_path loads p 1
     | None -> invalid_arg "Congestion_opt.route: no bounded path (internal)"

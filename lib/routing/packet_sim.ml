@@ -21,6 +21,9 @@ let run ~n routing = Trace.with_span ~name:"packet_sim.run" @@ fun () ->
     routing;
   let k = Array.length routing in
   let congestion = Routing.congestion ~n routing in
+  (* populate the per-edge load distribution too; the simulation itself only
+     needs node congestion, but metric consumers want both histograms *)
+  if !Obs.metrics then ignore (Routing.edge_congestion ~n routing);
   let dilation = Array.fold_left (fun acc p -> max acc (Routing.length p)) 0 routing in
   let forward_load =
     let loads = Array.make n 0 in

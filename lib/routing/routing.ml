@@ -5,6 +5,13 @@ type routing = path array
 
 let length p = Array.length p - 1
 
+(* Congestion is the paper's central quantity, so its full distribution (not
+   just the max) is observed whenever metrics are on: every nonzero per-node
+   load and every per-edge load lands in a histogram, giving p50/p90/p99
+   congestion in metric dumps for free. *)
+let m_node_load = Metrics.histo "routing.node_load"
+let m_edge_load = Metrics.histo "routing.edge_load"
+
 (* Count each path at most once per node: mark nodes with the path's id. *)
 let node_loads ~n routing =
   let loads = Array.make n 0 in
@@ -21,7 +28,11 @@ let node_loads ~n routing =
     routing;
   loads
 
-let congestion ~n routing = Array.fold_left max 0 (node_loads ~n routing)
+let congestion ~n routing =
+  let loads = node_loads ~n routing in
+  if !Obs.metrics then
+    Array.iter (fun l -> if l > 0 then Metrics.observe m_node_load l) loads;
+  Array.fold_left max 0 loads
 
 let edge_congestion ~n routing =
   ignore n;
@@ -43,6 +54,7 @@ let edge_congestion ~n routing =
         end
       done)
     routing;
+  if !Obs.metrics then Hashtbl.iter (fun _ c -> Metrics.observe m_edge_load c) loads;
   Hashtbl.fold (fun _ c acc -> max acc c) loads 0
 
 let is_valid_path g p =

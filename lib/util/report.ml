@@ -56,18 +56,25 @@ let slug title =
       | _ -> '_')
     title
 
-let maybe_write env ext render t =
-  match Sys.getenv_opt env with
-  | None -> ()
-  | Some dir ->
-      if Sys.file_exists dir && Sys.is_directory dir then begin
-        let path = Filename.concat dir (slug t.title ^ ext) in
-        let oc = open_out path in
-        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render t))
-      end
+let write_into dir ext render t =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    let path = Filename.concat dir (slug t.title ^ ext) in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render t))
+  end
 
-let maybe_write_csv t = maybe_write "DCS_BENCH_CSV" ".csv" csv t
-let maybe_write_json t = maybe_write "DCS_BENCH_JSON" ".json" to_json t
+let maybe_write envs ext render t =
+  (* first set variable wins: [envs] lists the preferred name first, then
+     deprecated aliases kept for one release *)
+  match List.find_map Sys.getenv_opt envs with
+  | None -> ()
+  | Some dir -> write_into dir ext render t
+
+let maybe_write_csv t = maybe_write [ "DCS_BENCH_CSV" ] ".csv" csv t
+
+(* DCS_BENCH_DIR is the one export-directory convention (see EXPERIMENTS.md);
+   DCS_BENCH_JSON is its deprecated pre-unification spelling. *)
+let maybe_write_json t = maybe_write [ "DCS_BENCH_DIR"; "DCS_BENCH_JSON" ] ".json" to_json t
 
 let print t =
   maybe_write_csv t;

@@ -103,6 +103,77 @@ let test_list_json_is_registry () =
   check Alcotest.int "list --json exits 0" 0 code;
   check Alcotest.string "payload is Construction.to_json" (Construction.to_json ()) body
 
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_profile_prints_breakdown () =
+  let code, body =
+    read_cli "faults --family regular -n 60 -d 8 --fail-rate 0.1 --seed 7 --profile"
+  in
+  check Alcotest.int "faults --profile exits 0" 0 code;
+  check Alcotest.bool "profile table printed" true (body_contains body "span");
+  check Alcotest.bool "per-span GC attribution shown" true (body_contains body "repair.run")
+
+let test_log_writes_jsonl () =
+  let log = Filename.temp_file "dcs_cli_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove log)
+    (fun () ->
+      check Alcotest.int "faults --log exits 0" 0
+        (run_cli
+           (Printf.sprintf "faults --family regular -n 60 -d 8 --fail-rate 0.1 --seed 7 --log %s"
+              log));
+      let body = read_file log in
+      check Alcotest.bool "log is non-empty" true (String.length body > 0);
+      check Alcotest.bool "entries carry event names" true (body_contains body "\"event\":");
+      (* every line is one JSON object: starts '{', ends '}' *)
+      String.split_on_char '\n' body
+      |> List.iter (fun line ->
+             if String.length line > 0 then
+               check Alcotest.bool "line is a JSON object" true
+                 (line.[0] = '{' && line.[String.length line - 1] = '}')))
+
+(* ---- bench regression gate (exit codes 0 / 1 / 2) -------------------- *)
+
+let bench = Filename.concat Filename.parent_dir_name (Filename.concat "bench" "main.exe")
+
+let run_bench args =
+  Sys.command (Printf.sprintf "DCS_BENCH_SCALE=quick %s %s >/dev/null 2>&1" bench args)
+
+let test_bench_compare_gate () =
+  let baseline = Filename.temp_file "dcs_bench_base" ".json" in
+  let munged = Filename.temp_file "dcs_bench_munged" ".json" in
+  let garbage = Filename.temp_file "dcs_bench_garbage" ".json" in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ baseline; munged; garbage ])
+    (fun () ->
+      check Alcotest.int "write-baseline exits 0" 0
+        (run_bench (Printf.sprintf "lemmas --write-baseline %s" baseline));
+      check Alcotest.int "clean compare exits 0" 0
+        (run_bench (Printf.sprintf "lemmas --compare %s" baseline));
+      (* shrink every stable value by an order of magnitude: the re-run is
+         now way outside the tolerance band and must fail the gate *)
+      let body = read_file baseline in
+      let oc = open_out munged in
+      String.iteri
+        (fun i c ->
+          output_char oc c;
+          if c = ':' && i >= 7 && String.sub body (i - 7) 7 = "\"value\"" then output_char oc '9')
+        body;
+      close_out oc;
+      check Alcotest.int "regressed compare exits 1" 1
+        (run_bench (Printf.sprintf "lemmas --compare %s" munged));
+      let oc = open_out garbage in
+      output_string oc "not a baseline document";
+      close_out oc;
+      check Alcotest.int "unusable baseline exits 2" 2
+        (run_bench (Printf.sprintf "lemmas --compare %s" garbage));
+      check Alcotest.int "bad --tolerance exits 2" 2
+        (run_bench (Printf.sprintf "lemmas --compare %s --tolerance nope" baseline)))
+
 let () =
   Alcotest.run "cli"
     [
@@ -121,4 +192,10 @@ let () =
           Alcotest.test_case "json matches registry" `Quick test_list_json_is_registry;
         ] );
       ("faults", [ Alcotest.test_case "json report" `Quick test_faults_json_report ]);
+      ( "observability",
+        [
+          Alcotest.test_case "--profile prints breakdown" `Quick test_profile_prints_breakdown;
+          Alcotest.test_case "--log writes jsonl" `Quick test_log_writes_jsonl;
+        ] );
+      ("bench", [ Alcotest.test_case "compare gate exit codes" `Quick test_bench_compare_gate ]);
     ]

@@ -211,13 +211,24 @@ let test_trace_json_well_formed () =
       let doc = parse_json (Trace.to_json ()) in
       match member "traceEvents" doc with
       | List events ->
-          check Alcotest.int "two events" 2 (List.length events);
+          let spans = List.filter (fun e -> member "ph" e = Str "X") events in
+          let counters = List.filter (fun e -> member "ph" e = Str "C") events in
+          check Alcotest.int "two complete events" 2 (List.length spans);
           List.iter
             (fun e ->
               check Alcotest.bool "has name" true (member "name" e <> Null);
-              check Alcotest.bool "complete event" true (member "ph" e = Str "X");
-              check Alcotest.bool "dur is a number" false (Float.is_nan (num_of (member "dur" e))))
-            events
+              check Alcotest.bool "dur is a number" false (Float.is_nan (num_of (member "dur" e)));
+              check Alcotest.bool "major GC delta is a number" false
+                (Float.is_nan (num_of (member "major_collections" (member "args" e)))))
+            spans;
+          (* every span close emits one memory counter sample *)
+          check Alcotest.bool "memory counter events present" true (List.length counters >= 1);
+          List.iter
+            (fun e ->
+              check Alcotest.bool "counter named memory" true (member "name" e = Str "memory");
+              check Alcotest.bool "heap_words series present" false
+                (Float.is_nan (num_of (member "heap_words" (member "args" e)))))
+            counters
       | _ -> Alcotest.fail "traceEvents missing")
 
 let test_trace_summary () =
@@ -346,6 +357,250 @@ let test_percentile_extremes () =
   check (Alcotest.float 0.0) "p100 is the maximum" 9.0 (Stats.percentile xs 100.0);
   check (Alcotest.float 0.0) "singleton at any p" 4.0 (Stats.percentile [| 4.0 |] 50.0)
 
+(* ---- json_float edge values ------------------------------------------ *)
+
+let test_json_float_non_finite () =
+  check Alcotest.string "nan renders null" "null" (Obs.json_float nan);
+  check Alcotest.string "+inf renders null" "null" (Obs.json_float infinity);
+  check Alcotest.string "-inf renders null" "null" (Obs.json_float neg_infinity);
+  check Alcotest.bool "finite value parses back" true
+    (num_of (parse_json (Obs.json_float 2.5)) = 2.5)
+
+(* ---- histogram buckets and quantiles --------------------------------- *)
+
+let test_bucket_of_boundaries () =
+  check Alcotest.int "v <= 0 lands in bucket 0" 0 (Metrics.bucket_of 0);
+  check Alcotest.int "negative lands in bucket 0" 0 (Metrics.bucket_of (-7));
+  check Alcotest.int "1 is bucket 1" 1 (Metrics.bucket_of 1);
+  for k = 1 to 61 do
+    let v = 1 lsl k in
+    check Alcotest.int (Printf.sprintf "2^%d opens bucket %d" k (k + 1)) (k + 1)
+      (Metrics.bucket_of v);
+    check Alcotest.int (Printf.sprintf "2^%d - 1 closes bucket %d" k k) k
+      (Metrics.bucket_of (v - 1))
+  done;
+  check Alcotest.int "max_int lands in bucket 62" 62 (Metrics.bucket_of max_int);
+  check Alcotest.int "bucket 0 bound" 1 (Metrics.bucket_lt 0);
+  check Alcotest.bool "saturated top bounds never go negative" true
+    (Metrics.bucket_lt 62 = max_int && Metrics.bucket_lt 63 = max_int)
+
+(* the inclusive lower bound of bucket [b]; mirrors the private bucket_lo *)
+let bucket_lo b = if b <= 1 then 0 else 1 lsl (b - 1)
+
+let prop_bucket_contains_value =
+  QCheck.Test.make ~name:"bucket_of places v inside its [lo, lt) bucket" ~count:500
+    QCheck.(int_range 1 max_int)
+    (fun v ->
+      let b = Metrics.bucket_of v in
+      let lt = Metrics.bucket_lt b in
+      v >= bucket_lo b && (v < lt || lt = max_int))
+
+let prop_quantile_vs_oracle =
+  (* the estimator interpolates inside the pow-2 bucket holding the target
+     rank — the bucket of the exact nearest-rank answer from a sorted copy —
+     and its midpoint convention can overshoot that bucket's upper bound by
+     at most half a bucket width, so check the [lo, hi + width/2] band *)
+  QCheck.Test.make ~name:"histo_quantile lands in the oracle's bucket" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 60) (int_range 1 100_000)) (int_range 0 100))
+    (fun (vs, q100) ->
+      vs = []
+      (* the shrinker may go below the generator's size floor *)
+      || with_obs ~tracing:false ~metrics:true (fun () ->
+          let h = Metrics.histo "test.oracle" in
+          List.iter (Metrics.observe h) vs;
+          let q = float_of_int q100 /. 100.0 in
+          let est = Metrics.histo_quantile h q in
+          let sorted = Array.of_list (List.sort compare vs) in
+          let target = q *. float_of_int (Array.length sorted - 1) in
+          let oracle = sorted.(int_of_float target) in
+          let b = Metrics.bucket_of oracle in
+          let lo = float_of_int (bucket_lo b) and hi = float_of_int (Metrics.bucket_lt b) in
+          est >= lo -. 1e-6 && est <= hi +. (0.5 *. (hi -. lo)) +. 1e-6))
+
+let test_quantile_empty_and_clamp () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let e = Metrics.histo "test.q_empty" in
+      check Alcotest.bool "empty histo quantile is nan" true
+        (Float.is_nan (Metrics.histo_quantile e 0.5));
+      let h = Metrics.histo "test.q_clamp" in
+      List.iter (Metrics.observe h) [ 5; 5; 5; 5 ];
+      check (Alcotest.float 0.0) "p0 clamps to min" 5.0 (Metrics.histo_quantile h 0.0);
+      check (Alcotest.float 0.0) "p100 clamps to max" 5.0 (Metrics.histo_quantile h 1.0);
+      let doc = parse_json (Metrics.to_json ()) in
+      let empty = member "test.q_empty" (member "histograms" doc) in
+      check Alcotest.bool "empty histo p50 renders null" true (member "p50" empty = Null);
+      let filled = member "test.q_clamp" (member "histograms" doc) in
+      let p50 = num_of (member "p50" filled)
+      and p90 = num_of (member "p90" filled)
+      and p99 = num_of (member "p99" filled) in
+      check Alcotest.bool "p50/p90/p99 present and ordered" true
+        ((not (Float.is_nan p50)) && p50 <= p90 && p90 <= p99))
+
+let test_csv_quantile_parity () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let h = Metrics.histo "test.csv_parity" in
+      List.iter (Metrics.observe h) [ 1; 3; 9; 27; 81 ];
+      let csv = Metrics.to_csv () in
+      List.iter
+        (fun field ->
+          check Alcotest.bool (field ^ " row present") true
+            (contains ~sub:(Printf.sprintf "histo,test.csv_parity,%s," field) csv))
+        [ "count"; "sum"; "mean"; "min"; "max"; "p50"; "p90"; "p99" ];
+      check Alcotest.bool "per-bucket rows present" true
+        (contains ~sub:"histo,test.csv_parity,bucket_lt_" csv))
+
+let test_gauge_peak_across_domains () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let g = Metrics.gauge "test.domain_peak" in
+      ignore
+        (Parallel.map_range ~domains:4 64 (fun i ->
+             Metrics.set_gauge g i;
+             i));
+      check Alcotest.int "peak folds the max over all domain shards" 63 (Metrics.gauge_peak g))
+
+(* ---- structured logging ---------------------------------------------- *)
+
+(* Log state is process-global like the rest of lib/obs: always restore
+   "disabled" on the way out. *)
+let with_log level f =
+  Log.clear ();
+  Log.set_level level;
+  Fun.protect ~finally:Log.disable f
+
+let test_log_threshold () =
+  with_log Log.Warn (fun () ->
+      Log.debug "lvl.debug";
+      Log.info "lvl.info";
+      Log.warn "lvl.warn";
+      Log.error "lvl.error";
+      let events = List.map (fun e -> e.Log.event) (Log.recent ()) in
+      check (Alcotest.list Alcotest.string) "only >= warn recorded" [ "lvl.warn"; "lvl.error" ]
+        events;
+      check Alcotest.bool "enabled reflects the threshold" true
+        (Log.enabled Log.Error && not (Log.enabled Log.Info)))
+
+let test_log_render_jsonl () =
+  with_log Log.Debug (fun () ->
+      Log.info ~fields:[ ("k", "va\"l"); ("n", "7") ] "render.check";
+      match Log.recent () with
+      | [ e ] ->
+          let doc = parse_json (Log.render e) in
+          check Alcotest.bool "level field" true (member "level" doc = Str "info");
+          check Alcotest.bool "event field" true (member "event" doc = Str "render.check");
+          check Alcotest.bool "fields nest as an object" true
+            (member "k" (member "fields" doc) = Str "va\"l");
+          check Alcotest.bool "ts_us numeric" false (Float.is_nan (num_of (member "ts_us" doc)))
+      | _ -> Alcotest.fail "expected exactly one entry")
+
+let test_log_ring_overflow () =
+  with_log Log.Debug (fun () ->
+      for i = 1 to 1100 do
+        Log.info ~fields:[ ("i", string_of_int i) ] "ring.entry"
+      done;
+      let entries = Log.recent () in
+      check Alcotest.int "ring keeps the last 1024" 1024 (List.length entries);
+      let first = List.hd entries and last = List.nth entries 1023 in
+      check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        "oldest surviving entry is #77" [ ("i", "77") ] first.Log.fields;
+      check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        "newest entry is #1100" [ ("i", "1100") ] last.Log.fields)
+
+let test_log_disabled_is_silent () =
+  Log.disable ();
+  Log.clear ();
+  Log.warn "off.warn";
+  Log.info "off.info";
+  check Alcotest.int "nothing recorded when disabled" 0 (List.length (Log.recent ()))
+
+(* ---- bench reports and the regression gate --------------------------- *)
+
+let mk_report ?(block = "blk") metrics =
+  let t = Bench_report.create ~block ~scale:"quick" in
+  List.iter
+    (fun (name, v, hib, stable) ->
+      Bench_report.add t ~higher_is_better:hib ~stable ~units:"u" name v)
+    metrics;
+  t
+
+let verdict_for metric verdicts =
+  List.find (fun v -> v.Bench_report.v_metric = metric) verdicts
+
+let test_bench_report_json_shape () =
+  let t = mk_report [ ("a.count", 42.0, false, true); ("a.wall", nan, false, false) ] in
+  check Alcotest.string "block accessor" "blk" (Bench_report.block_name t);
+  check Alcotest.int "rows kept in add order" 2 (List.length (Bench_report.metrics t));
+  (try
+     Bench_report.add t ~units:"u" "" 1.0;
+     Alcotest.fail "empty metric name must be rejected"
+   with Invalid_argument _ -> ());
+  let doc = parse_json (Bench_report.to_json t) in
+  check Alcotest.bool "schema tag" true (member "schema" doc = Str "dcs-bench/1");
+  check Alcotest.bool "block name" true (member "block" doc = Str "blk");
+  check Alcotest.bool "scale recorded" true (member "scale" doc = Str "quick");
+  check Alcotest.bool "domains numeric" false (Float.is_nan (num_of (member "domains" doc)));
+  match member "metrics" doc with
+  | List [ a; wall ] ->
+      check Alcotest.bool "metric name" true (member "name" a = Str "a.count");
+      check (Alcotest.float 0.0) "metric value" 42.0 (num_of (member "value" a));
+      check Alcotest.bool "stable flag" true (member "stable" a = Bool true);
+      check Alcotest.bool "nan value renders null" true (member "value" wall = Null)
+  | _ -> Alcotest.fail "metrics shape"
+
+let test_bench_compare_directions () =
+  let base =
+    Bench_report.baseline_to_json
+      [ mk_report [ ("cost", 100.0, false, true); ("wins", 100.0, true, true) ] ]
+  in
+  let run cost wins tolerance =
+    match
+      Bench_report.compare_json ~baseline:base ~tolerance
+        [ mk_report [ ("cost", cost, false, true); ("wins", wins, true, true) ] ]
+    with
+    | Ok vs -> vs
+    | Error msg -> Alcotest.fail msg
+  in
+  let vs = run 103.0 100.0 2.0 in
+  check Alcotest.bool "cost +3% past 2% regresses" true
+    (verdict_for "cost" vs).Bench_report.v_regressed;
+  check Alcotest.bool "wins flat is fine" false (verdict_for "wins" vs).Bench_report.v_regressed;
+  let vs = run 103.0 100.0 5.0 in
+  check Alcotest.bool "cost +3% within 5% passes" false
+    (verdict_for "cost" vs).Bench_report.v_regressed;
+  let vs = run 90.0 97.0 2.0 in
+  check Alcotest.bool "cost improving never regresses" false
+    (verdict_for "cost" vs).Bench_report.v_regressed;
+  check Alcotest.bool "wins -3% past 2% regresses" true
+    (verdict_for "wins" vs).Bench_report.v_regressed;
+  check Alcotest.bool "delta is signed" true ((verdict_for "wins" vs).Bench_report.v_delta_pct < 0.0)
+
+let test_bench_compare_errors () =
+  let base = Bench_report.baseline_to_json [ mk_report [ ("cost", 100.0, false, true) ] ] in
+  (* a baseline metric the current run no longer reports always regresses *)
+  (match
+     Bench_report.compare_json ~baseline:base ~tolerance:50.0
+       [ mk_report [ ("other", 1.0, false, true) ] ]
+   with
+  | Ok vs ->
+      let v = verdict_for "cost" vs in
+      check Alcotest.bool "missing metric regresses" true v.Bench_report.v_regressed;
+      check Alcotest.bool "missing metric reported as nan" true
+        (Float.is_nan v.Bench_report.v_current)
+  | Error msg -> Alcotest.fail msg);
+  (* blocks that did not run are skipped; matching none is an error *)
+  (match
+     Bench_report.compare_json ~baseline:base ~tolerance:2.0 [ mk_report ~block:"zzz" [] ]
+   with
+  | Ok _ -> Alcotest.fail "no matched blocks must be an error"
+  | Error _ -> ());
+  (* scale mismatch is an error, not a silent pass *)
+  let t = Bench_report.create ~block:"blk" ~scale:"standard" in
+  (match Bench_report.compare_json ~baseline:base ~tolerance:2.0 [ t ] with
+  | Ok _ -> Alcotest.fail "scale mismatch must be an error"
+  | Error _ -> ());
+  match Bench_report.compare_json ~baseline:"not json at all" ~tolerance:2.0 [ mk_report [] ] with
+  | Ok _ -> Alcotest.fail "garbage baseline must be an error"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "obs"
     [
@@ -364,6 +619,26 @@ let () =
           Alcotest.test_case "json folds shards" `Quick test_metrics_json_folds_shards;
           Alcotest.test_case "disabled emits nothing" `Quick test_disabled_mode_emits_nothing;
           Alcotest.test_case "snapshot hit/build counters" `Quick test_snapshot_counters;
+          Alcotest.test_case "json_float non-finite" `Quick test_json_float_non_finite;
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_of_boundaries;
+          Alcotest.test_case "quantile empty/clamp/json" `Quick test_quantile_empty_and_clamp;
+          Alcotest.test_case "csv quantile parity" `Quick test_csv_quantile_parity;
+          Alcotest.test_case "gauge peak across domains" `Quick test_gauge_peak_across_domains;
+          QCheck_alcotest.to_alcotest prop_bucket_contains_value;
+          QCheck_alcotest.to_alcotest prop_quantile_vs_oracle;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level threshold" `Quick test_log_threshold;
+          Alcotest.test_case "jsonl render" `Quick test_log_render_jsonl;
+          Alcotest.test_case "ring overflow" `Quick test_log_ring_overflow;
+          Alcotest.test_case "disabled is silent" `Quick test_log_disabled_is_silent;
+        ] );
+      ( "bench_report",
+        [
+          Alcotest.test_case "json shape" `Quick test_bench_report_json_shape;
+          Alcotest.test_case "compare directions" `Quick test_bench_compare_directions;
+          Alcotest.test_case "compare errors" `Quick test_bench_compare_errors;
         ] );
       ( "report",
         [
