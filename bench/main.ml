@@ -3,8 +3,8 @@
    benches for the constructions.
 
    Usage:  dune exec bench/main.exe [-- block ... [flags]]
-   Blocks: table1 figures lemmas distributed ablations extensions fault timing
-   kernels obs; all (default all).
+   Blocks: table1 figures lemmas distributed ablations extensions fault soak
+   timing kernels obs; all (default all).
    Flags:  --write-baseline FILE   combined stable-metric baseline of this run
            --compare FILE          judge this run against a baseline; exit 1 on
                                    regression, 2 on a malformed/unmatched baseline
@@ -1512,10 +1512,91 @@ let run_kernels br =
   match Sys.getenv_opt "DCS_BENCH_KERNELS" with
   | None | Some "" -> ()
   | Some path ->
+      Log.warn "deprecated.env"
+        ~fields:[ ("alias", "DCS_BENCH_KERNELS"); ("replacement", "DCS_BENCH_DIR") ];
+      if not (Log.enabled Log.Warn) then
+        Printf.eprintf
+          "note: DCS_BENCH_KERNELS is deprecated and will be removed next release; use \
+           DCS_BENCH_DIR\n%!";
       let oc = open_out path in
       output_string oc (Bench_report.to_json br);
       close_out oc;
       Printf.printf "wrote %s (DCS_BENCH_KERNELS is deprecated; use DCS_BENCH_DIR)\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Sustained-churn soak: steady-state robustness under continuous      *)
+(* faults and traffic (ROADMAP soak-harness item)                      *)
+(* ------------------------------------------------------------------ *)
+
+let soak_case br ~case ~graph ~kind ~events ~batch ~requests =
+  let rng = Prng.create 4242 in
+  let dc = Regular_dc.build rng graph in
+  let config =
+    { Soak.default with events; batch; requests; seed = 4243; kind; alpha = 3 }
+  in
+  let r = Soak.run config ~graph ~spanner:dc.Regular_dc.spanner in
+  let metric name units v = Bench_report.add br ~units (Printf.sprintf "soak.%s.%s" case name) v in
+  (* the whole run is seeded and wall-clock-free, so every quantity below is
+     a stable metric for the regression gate *)
+  metric "certified_batches" "batches" (float_of_int r.Soak.r_certified_batches);
+  metric "batch_count" "batches" (float_of_int r.Soak.r_batch_count);
+  metric "readded" "edges" (float_of_int r.Soak.r_edges_readded);
+  metric "swept" "groups" (float_of_int r.Soak.r_swept);
+  metric "groups" "groups" (float_of_int r.Soak.r_groups_total);
+  metric "delivered" "packets" (float_of_int r.Soak.r_delivered);
+  metric "dropped" "packets" (float_of_int r.Soak.r_dropped);
+  metric "final_stretch" "hops"
+    (if r.Soak.r_final_stretch = max_int then -1.0 else float_of_int r.Soak.r_final_stretch);
+  metric "m_spanner_end" "edges" (float_of_int r.Soak.r_m_spanner_end);
+  r
+
+let run_soak br =
+  Report.section "SOAK (sustained churn: incremental repair + re-certification)";
+  let table =
+    Report.create ~title:"soak steady state (alpha = 3, algorithm1 spanner)"
+      ~columns:
+        [
+          "case"; "events"; "certified"; "re-added"; "swept/groups"; "delivered"; "dropped";
+          "final stretch";
+        ]
+  in
+  let cases =
+    [
+      (* expander churn: dirty sets are global (3-hop balls cover the graph),
+         so this case exercises throughput of the full re-sweep path *)
+      ( "uniform.expander",
+        regular_expander 4241 (pick ~quick:100 ~standard:216 ~full:343) 12,
+        Churn_gen.Uniform,
+        pick ~quick:400 ~standard:1000 ~full:2000,
+        40 );
+      (* torus churn: large diameter keeps batches localized — this is the
+         case whose swept/groups ratio certifies the incremental win *)
+      ( "targeted.torus",
+        Generators.torus (pick ~quick:20 ~standard:32 ~full:48) (pick ~quick:20 ~standard:32 ~full:48),
+        Churn_gen.Targeted,
+        pick ~quick:200 ~standard:500 ~full:1000,
+        5 );
+    ]
+  in
+  List.iter
+    (fun (case, graph, kind, events, batch) ->
+      let r = soak_case br ~case ~graph ~kind ~events ~batch ~requests:16 in
+      Report.add_row table
+        [
+          case;
+          string_of_int r.Soak.r_events_generated;
+          Printf.sprintf "%d/%d" r.Soak.r_certified_batches r.Soak.r_batch_count;
+          string_of_int r.Soak.r_edges_readded;
+          Printf.sprintf "%d/%d" r.Soak.r_swept r.Soak.r_groups_total;
+          string_of_int r.Soak.r_delivered;
+          string_of_int r.Soak.r_dropped;
+          (if r.Soak.r_final_stretch = max_int then "inf"
+           else string_of_int r.Soak.r_final_stretch);
+        ])
+    cases;
+  Report.add_note table "every batch heals to a certified spanner; swept/groups < 1 on the";
+  Report.add_note table "torus shows the incremental certifier skipping clean source groups.";
+  Report.print table
 
 (* ------------------------------------------------------------------ *)
 
@@ -1528,6 +1609,7 @@ let all_blocks =
     "ablations";
     "extensions";
     "fault";
+    "soak";
     "timing";
     "kernels";
     "obs";
@@ -1576,6 +1658,7 @@ let block_runners =
     ("ablations", run_ablations);
     ("extensions", run_extensions);
     ("fault", run_fault);
+    ("soak", run_soak);
     ("timing", run_timing);
     ("kernels", run_kernels);
     ("obs", run_obs);
@@ -1617,7 +1700,7 @@ let () =
       | None ->
           Printf.printf
             "unknown block %S (use \
-             table1|figures|lemmas|distributed|ablations|extensions|fault|timing|kernels|obs)\n"
+             table1|figures|lemmas|distributed|ablations|extensions|fault|soak|timing|kernels|obs)\n"
             block
       | Some run ->
           let br = Bench_report.create ~block ~scale:scale_name in

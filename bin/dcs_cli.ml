@@ -640,6 +640,136 @@ let faults_cmd =
           the spanner.")
     term
 
+(* ---- soak ---- *)
+
+let soak_cmd =
+  let events_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "events"; "e" ] ~docv:"E" ~doc:"Total churn events to generate.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 50 & info [ "batch"; "b" ] ~docv:"B" ~doc:"Churn events per batch.")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:"Churn generator: uniform | adversarial (max-load) | targeted (spanner hubs).")
+  in
+  let alpha_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:
+            "Stretch bound to maintain (0 = derive from the construction's guarantee, \
+             falling back to 3).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "requests"; "r" ] ~docv:"R" ~doc:"Routing requests sampled per batch.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "timeout" ] ~docv:"T" ~doc:"Rounds before a lost packet is first retransmitted.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "attempts" ] ~docv:"A" ~doc:"Retransmission attempts before a permanent drop.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the deterministic dcs-soak/1 report as JSON to $(docv).")
+  in
+  let run () family n degree p seed algorithm events batch plan alpha requests timeout attempts
+      json input =
+    let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+    let* ctor = Construction.find algorithm in
+    let* kind =
+      match Churn_gen.kind_of_string plan with
+      | Some k -> Ok k
+      | None ->
+          Error
+            (Printf.sprintf "unknown churn plan %S (expected uniform | adversarial | targeted)"
+               plan)
+    in
+    let* () =
+      if events < 1 then Error "events must be >= 1"
+      else if batch < 1 then Error "batch must be >= 1"
+      else if alpha < 0 then Error "alpha must be >= 0"
+      else if requests < 0 then Error "requests must be >= 0"
+      else if timeout < 1 || attempts < 1 then Error "timeout and attempts must be >= 1"
+      else Ok ()
+    in
+    let alpha =
+      if alpha > 0 then alpha
+      else
+        match ctor.Construction.alpha with
+        | Some a -> int_of_float (ceil a)
+        | None -> 3
+    in
+    let rng = Prng.create (seed + 1) in
+    let dc = Construction.build ctor rng g in
+    let config =
+      {
+        Soak.events;
+        batch;
+        seed;
+        alpha;
+        kind;
+        requests;
+        timeout;
+        max_attempts = attempts;
+      }
+    in
+    let report = Soak.run config ~graph:g ~spanner:dc.Dc.spanner in
+    Printf.printf "construction: %s\n" dc.Dc.name;
+    Printf.printf "churn:        plan=%s events=%d batch=%d seed=%d alpha=%d\n" report.Soak.r_kind
+      report.Soak.r_events report.Soak.r_batch report.Soak.r_seed report.Soak.r_alpha;
+    Printf.printf "graph:        n=%d, edges %d -> %d\n" (Graph.n g) report.Soak.r_m_graph_start
+      report.Soak.r_m_graph_end;
+    Printf.printf "spanner:      edges %d -> %d (%d re-added by the healer)\n"
+      report.Soak.r_m_spanner_start report.Soak.r_m_spanner_end report.Soak.r_edges_readded;
+    Printf.printf "certify:      %d/%d batches certified, swept %d/%d source groups\n"
+      report.Soak.r_certified_batches report.Soak.r_batch_count report.Soak.r_swept
+      report.Soak.r_groups_total;
+    Printf.printf "traffic:      delivered %d, dropped %d, retransmits %d, reroutes %d\n"
+      report.Soak.r_delivered report.Soak.r_dropped report.Soak.r_retransmits
+      report.Soak.r_reroutes;
+    Printf.printf "final:        dist stretch %s, certified %b\n"
+      (if report.Soak.r_final_stretch = max_int then "unbounded"
+       else string_of_int report.Soak.r_final_stretch)
+      report.Soak.r_final_certified;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Soak.to_json report);
+        close_out oc;
+        Printf.printf "report written to %s\n" path);
+    if report.Soak.r_certified_batches = report.Soak.r_batch_count then Ok ()
+    else Error "soak left uncertified batches"
+  in
+  let term =
+    Term.term_result' ~usage:true
+      Term.(
+        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg
+        $ events_arg $ batch_arg $ plan_arg $ alpha_arg $ requests_arg $ timeout_arg
+        $ attempts_arg $ json_arg $ input_arg)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run a sustained-churn soak: batched insert/delete/isolate events against a live \
+          spanner with incremental repair, re-certification, and degraded-mode traffic.")
+    term
+
 (* ---- distributed ---- *)
 
 let distributed_cmd =
@@ -683,6 +813,7 @@ let () =
             route_cmd;
             verify_cmd;
             faults_cmd;
+            soak_cmd;
             lowerbound_cmd;
             distributed_cmd;
           ]))

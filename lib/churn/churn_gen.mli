@@ -1,0 +1,67 @@
+(** Seeded churn-event generators for the soak harness.
+
+    A churn batch is a list of graph mutations drawn against the current
+    [(g, h)] state.  Generation works on scratch copies, so every event in a
+    batch is applicable in sequence (no duplicate deletes, no re-adds), and
+    each batch is a pure function of the {!Prng.t} and the pre-batch graphs
+    — reproducible from the soak seed, per the determinism contract of
+    HACKING.md.
+
+    The kinds extend the {!Fault_plan} generator family from one-shot plans
+    to sustained churn: [Uniform] background noise, [Adversarial] damage
+    aimed at the routing's most-loaded nodes (the congestion-stretch threat
+    model of the paper), and [Targeted] deletion of the spanner's own hub
+    edges (maximal recertification pressure).  Destructive events dominate
+    each mix but a steady share of random insertions keeps the graph alive
+    over arbitrarily long runs. *)
+
+type event =
+  | Add_edge of int * int  (** insert into the base graph (not the spanner) *)
+  | Del_edge of int * int  (** delete from base graph and spanner *)
+  | Isolate of int  (** node failure: drop every incident edge *)
+
+type kind = Uniform | Adversarial | Targeted
+
+val kind_name : kind -> string
+(** Lower-case name, the [--plan] spelling of the CLI. *)
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_name} (case-insensitive). *)
+
+val generate :
+  kind ->
+  Prng.t ->
+  g:Graph.t ->
+  h:Graph.t ->
+  loads:int array ->
+  count:int ->
+  event list
+(** [generate kind rng ~g ~h ~loads ~count] draws up to [count] events
+    (fewer only when the graph saturates, e.g. no edge left to delete and no
+    non-edge left to add).  [loads] are the per-node loads of the current
+    routing ({!Routing.node_loads}); only [Adversarial] consults them.
+    Inputs are not mutated.  Raises [Invalid_argument] on negative [count],
+    node-count mismatch, or a [loads] array of the wrong length. *)
+
+val to_fault_plan : ?round:int -> network:Graph.t -> event list -> Fault_plan.t
+(** Project a batch onto a {!Fault_plan} striking at [round] (default 1):
+    [Isolate] becomes [Fail_node]; [Del_edge] becomes [Fail_edge] when the
+    edge exists in [network] (the links traffic can actually lose);
+    [Add_edge] has no fault-plan counterpart.  This is how a churn batch
+    degrades the in-flight {!Fault_sim} traffic. *)
+
+type applied = {
+  ap_touched : int array;
+      (** sorted distinct endpoints churned in either graph — for an
+          isolated node, the node and its former neighbours; the seed set
+          for {!Stretch.violations_incremental} *)
+  ap_added : int;  (** edges actually inserted into [g] *)
+  ap_deleted : int;  (** edges actually removed from [g] or [h] *)
+  ap_isolated : int;  (** isolations that cut at least one edge *)
+}
+
+val apply : g:Graph.t -> h:Graph.t -> event list -> applied
+(** Apply a batch in order, mutating [g] and [h] in place.  Neighbourhoods
+    of isolated nodes are collected {e before} cutting, so [ap_touched]
+    satisfies the touched-set contract of the incremental certifier.
+    Raises [Invalid_argument] on out-of-range nodes or self-loops. *)

@@ -177,3 +177,174 @@ let violations g h ~bound =
   (* canonical order: callers (Repair, reports) must not depend on hashtable
      iteration order *)
   List.sort compare !bad
+
+(* ---- incremental certification (the churn seam) ---- *)
+
+(* Per-source cache of the bounded certificate.  After a localized mutation
+   batch, a source group's verdict can only change if the group's removed-
+   edge set changed (then an endpoint of the change was touched) or if the
+   bounded distance to some target changed.  In the latter case the old or
+   the new witness path (length <= bound) uses a changed edge, and its
+   prefix up to the FIRST changed edge survives in the new spanner — so the
+   source lies within [bound] hops of a touched node in the new spanner.
+   Hence one multi-seed bounded sweep from the touched set marks every
+   source whose cached verdict could be stale, and only those groups re-run
+   their batched MS-BFS sweep. *)
+
+type cert = {
+  c_bound : int;
+  c_worst : int array;
+      (* worst bounded detour per source group; 1 when the source has no
+         group, [max_int] when some target is unreachable within the bound *)
+  c_viol : (int * int) list array;  (* violating pairs per source, ascending *)
+  mutable c_groups : int;  (* group count at the last refresh *)
+}
+
+type inc_report = {
+  inc_violations : (int * int) list;
+  inc_swept : int;
+  inc_groups : int;
+  inc_dirty : int;
+}
+
+let m_inc_swept = Metrics.counter "stretch.inc_swept"
+let m_inc_reused = Metrics.counter "stretch.inc_reused"
+
+(* one batched sweep over [groups.(lo .. lo+len-1)], recording per-source
+   worst detours and violation lists into the cache arrays *)
+let sweep_into cert hc groups ~lo ~len =
+  let bound = cert.c_bound in
+  let sources = Array.init len (fun i -> fst groups.(lo + i)) in
+  let rows = Bfs_batch.run ~bound hc sources in
+  for i = 0 to len - 1 do
+    let u, targets = groups.(lo + i) and row = rows.(i) in
+    let worst = ref 1 and bad = ref [] in
+    Array.iter
+      (fun v ->
+        let d = row.(v) in
+        if d < 0 || d > bound then begin
+          worst := max_int;
+          bad := (u, v) :: !bad
+        end
+        else if d > !worst then worst := d)
+      targets;
+    cert.c_worst.(u) <- !worst;
+    cert.c_viol.(u) <- List.sort compare !bad
+  done
+
+let cert_create ?snapshot g h ~bound =
+  if Graph.n g <> Graph.n h then invalid_arg "Stretch.cert_create: node counts differ";
+  if bound < 1 then invalid_arg "Stretch.cert_create: bound < 1";
+  Trace.with_span ~name:"spanner.certify_incremental" (fun () ->
+      let hc = snapshot_of h snapshot in
+      let groups, _ = removed_by_source g h in
+      let n = Graph.n g in
+      let cert =
+        { c_bound = bound; c_worst = Array.make n 1; c_viol = Array.make n []; c_groups = 0 }
+      in
+      let ng = Array.length groups in
+      cert.c_groups <- ng;
+      let lo = ref 0 in
+      while !lo < ng do
+        let len = min Bfs_batch.width (ng - !lo) in
+        sweep_into cert hc groups ~lo:!lo ~len;
+        lo := !lo + len
+      done;
+      cert)
+
+let cert_bound cert = cert.c_bound
+
+let cert_groups cert = cert.c_groups
+
+let cert_violations cert =
+  let bad = ref [] in
+  for u = Array.length cert.c_viol - 1 downto 0 do
+    bad := cert.c_viol.(u) @ !bad
+  done;
+  !bad
+
+let cert_stretch_bound cert = Array.fold_left max 1 cert.c_worst
+
+(* nodes within [bound] hops of any seed in [hc] (multi-seed bounded BFS);
+   seeds themselves are always marked, even when isolated *)
+let within_bound hc seeds ~bound =
+  let n = Csr.n hc in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let tail = ref 0 in
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= n then
+        invalid_arg "Stretch.violations_incremental: touched node out of range";
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        queue.(!tail) <- s;
+        incr tail
+      end)
+    seeds;
+  let head = ref 0 in
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    if dist.(v) < bound then
+      Csr.iter_neighbors hc v (fun u ->
+          if dist.(u) < 0 then begin
+            dist.(u) <- dist.(v) + 1;
+            queue.(!tail) <- u;
+            incr tail
+          end)
+  done;
+  Array.map (fun d -> d >= 0) dist
+
+let violations_incremental cert ?snapshot g h ~touched =
+  if Graph.n g <> Graph.n h then
+    invalid_arg "Stretch.violations_incremental: node counts differ";
+  if Graph.n g <> Array.length cert.c_worst then
+    invalid_arg "Stretch.violations_incremental: certificate built for a different node count";
+  Trace.with_span ~name:"spanner.certify_incremental" (fun () ->
+      let hc = snapshot_of h snapshot in
+      let groups, _ = removed_by_source g h in
+      let ng = Array.length groups in
+      cert.c_groups <- ng;
+      let dirty = within_bound hc touched ~bound:cert.c_bound in
+      (* a dirty source whose group shrank or vanished must not keep stale
+         entries; clean sources kept their groups (a group change touches
+         its source), so their cache lines are current *)
+      let ndirty = ref 0 in
+      Array.iteri
+        (fun v d ->
+          if d then begin
+            incr ndirty;
+            cert.c_worst.(v) <- 1;
+            cert.c_viol.(v) <- []
+          end)
+        dirty;
+      (* compact the dirty groups and sweep them in width-sized batches *)
+      let pending = Array.make (min ng (Array.length groups)) (0, [||]) in
+      let np = ref 0 in
+      Array.iter
+        (fun ((u, _) as grp) ->
+          if dirty.(u) then begin
+            pending.(!np) <- grp;
+            incr np
+          end)
+        groups;
+      let swept = !np in
+      let lo = ref 0 in
+      while !lo < swept do
+        let len = min Bfs_batch.width (swept - !lo) in
+        sweep_into cert hc pending ~lo:!lo ~len;
+        lo := !lo + len
+      done;
+      Metrics.add m_inc_swept swept;
+      Metrics.add m_inc_reused (ng - swept);
+      let bad = ref [] in
+      for i = ng - 1 downto 0 do
+        bad := cert.c_viol.(fst groups.(i)) @ !bad
+      done;
+      {
+        inc_violations = !bad;
+        inc_swept = swept;
+        inc_groups = ng;
+        inc_dirty = !ndirty;
+      })

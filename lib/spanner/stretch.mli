@@ -59,3 +59,61 @@ val violations : Graph.t -> Graph.t -> bound:int -> (int * int) list
 (** Removed edges whose spanner distance exceeds [bound] — the counter-
     examples reported when a stretch certificate fails.  Sorted ascending
     (lexicographic on [(u, v)], [u < v]). *)
+
+(** {2 Incremental certification}
+
+    The churn seam: {!cert_create} runs the full grouped sweep once and
+    caches each source group's verdict; after a mutation batch,
+    {!violations_incremental} re-sweeps only the groups whose verdict could
+    have changed.  Soundness of the dirty set: if a bounded spanner distance
+    [d_H(u, v) ≤ bound] changed, the old or the new witness path uses a
+    changed edge, and its prefix up to the {e first} changed edge survives
+    in the new spanner — so [u] lies within [bound] hops of a touched node
+    in the new spanner.  One multi-seed bounded BFS from the touched set
+    therefore over-approximates every stale group, and the incremental
+    result is byte-identical to a fresh {!violations} (qcheck-enforced). *)
+
+type cert
+(** Cached per-source certificate for one [(g, h, bound)] triple.  Mutable:
+    updated in place by {!violations_incremental}. *)
+
+type inc_report = {
+  inc_violations : (int * int) list;
+      (** same contract (content and order) as {!violations} *)
+  inc_swept : int;  (** source groups re-swept this call *)
+  inc_groups : int;  (** total source groups (removed-edge sources) *)
+  inc_dirty : int;  (** nodes within [bound] of the touched set *)
+}
+
+val cert_create : ?snapshot:Csr.t -> Graph.t -> Graph.t -> bound:int -> cert
+(** Full sweep; caches every group's violation list and worst bounded
+    detour.  Raises [Invalid_argument] if the node counts differ or
+    [bound < 1].  [snapshot], when given, must be [Csr.snapshot h]. *)
+
+val violations_incremental :
+  cert -> ?snapshot:Csr.t -> Graph.t -> Graph.t -> touched:int array -> inc_report
+(** [violations_incremental cert g h ~touched] refreshes [cert] after a
+    mutation batch whose churned endpoints are [touched] (for an isolated
+    node: the node and its former neighbours; for an added or deleted edge:
+    both endpoints — in either graph).  Every node whose [g]- or
+    [h]-incident edges changed since the last refresh must appear in
+    [touched]; duplicates are fine.  Returns the violations of the {e
+    current} [(g, h)] — byte-identical to {!violations}[ g h ~bound] — plus
+    sweep accounting.  Raises [Invalid_argument] on node-count mismatch or
+    out-of-range touched nodes. *)
+
+val cert_bound : cert -> int
+(** The [bound] the certificate was built with. *)
+
+val cert_groups : cert -> int
+(** Source-group count at the last refresh. *)
+
+val cert_violations : cert -> (int * int) list
+(** Cached violations as of the last refresh (no sweep; same contract as
+    {!violations}). *)
+
+val cert_stretch_bound : cert -> int
+(** Worst bounded detour over all cached groups: equals
+    {!exact_bounded}[ g h ~bound] as of the last refresh ([max_int] when
+    some removed edge is unreachable within the bound, [1] when no edges
+    are removed). *)

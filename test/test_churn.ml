@@ -1,0 +1,282 @@
+(* Churn machinery tests: seeded event generators, the incremental
+   certification seam (qcheck oracle against the full sweep, plus the
+   strictly-fewer-groups locality guarantee), and the soak engine's
+   certified-after-every-batch + same-seed-byte-identical contracts. *)
+
+let check = Alcotest.check
+
+let no_loads g = Array.make (Graph.n g) 0
+
+(* ---- generators ---- *)
+
+let test_gen_deterministic () =
+  let g = Generators.random_regular (Prng.create 5) 60 8 in
+  let h = Classic.greedy g ~k:2 in
+  let mg = Graph.m g and mh = Graph.m h in
+  List.iter
+    (fun kind ->
+      let ev seed =
+        Churn_gen.generate kind (Prng.create seed) ~g ~h ~loads:(no_loads g) ~count:40
+      in
+      check Alcotest.bool
+        (Churn_gen.kind_name kind ^ " same seed same events")
+        true (ev 3 = ev 3);
+      check Alcotest.bool
+        (Churn_gen.kind_name kind ^ " inputs not mutated")
+        true
+        (Graph.m g = mg && Graph.m h = mh))
+    [ Churn_gen.Uniform; Churn_gen.Adversarial; Churn_gen.Targeted ]
+
+let test_gen_events_applicable () =
+  (* drawn against scratch state: every event changes a graph when applied *)
+  let g = Generators.random_regular (Prng.create 6) 50 6 in
+  let h = Classic.greedy g ~k:2 in
+  let events =
+    Churn_gen.generate Churn_gen.Uniform (Prng.create 9) ~g ~h ~loads:(no_loads g) ~count:60
+  in
+  let ap = Churn_gen.apply ~g ~h events in
+  check Alcotest.int "all events applied"
+    (List.length events)
+    (ap.Churn_gen.ap_added + ap.Churn_gen.ap_deleted + ap.Churn_gen.ap_isolated)
+
+let test_gen_kind_names () =
+  List.iter
+    (fun kind ->
+      check Alcotest.bool "round trip" true
+        (Churn_gen.kind_of_string (Churn_gen.kind_name kind) = Some kind))
+    [ Churn_gen.Uniform; Churn_gen.Adversarial; Churn_gen.Targeted ];
+  check Alcotest.bool "unknown rejected" true (Churn_gen.kind_of_string "cosmic" = None)
+
+let test_apply_touched_includes_isolate_neighbors () =
+  let g = Generators.cycle 6 in
+  let h = Graph.copy g in
+  let ap = Churn_gen.apply ~g ~h [ Churn_gen.Isolate 2 ] in
+  check
+    Alcotest.(list int)
+    "node and former neighbours touched" [ 1; 2; 3 ]
+    (Array.to_list ap.Churn_gen.ap_touched);
+  check Alcotest.int "isolations counted" 1 ap.Churn_gen.ap_isolated;
+  check Alcotest.(list int) "edges cut" [] (Graph.neighbors g 2)
+
+let test_apply_rejects_bad_events () =
+  let expects_invalid name f =
+    check Alcotest.bool name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  let g () = Generators.cycle 4 in
+  expects_invalid "out of range" (fun () ->
+      Churn_gen.apply ~g:(g ()) ~h:(g ()) [ Churn_gen.Isolate 9 ]);
+  expects_invalid "self loop" (fun () ->
+      Churn_gen.apply ~g:(g ()) ~h:(g ()) [ Churn_gen.Add_edge (1, 1) ])
+
+let test_to_fault_plan_projection () =
+  let network = Generators.cycle 5 in
+  let plan =
+    Churn_gen.to_fault_plan ~round:2 ~network
+      [
+        Churn_gen.Add_edge (0, 2);
+        (* in the network: becomes an edge fault *)
+        Churn_gen.Del_edge (1, 2);
+        (* not a network link: no fault, traffic cannot lose it *)
+        Churn_gen.Del_edge (0, 3);
+        Churn_gen.Isolate 4;
+      ]
+  in
+  check Alcotest.int "edge faults" 1 (Fault_plan.edge_faults plan);
+  check Alcotest.int "node faults" 1 (Fault_plan.node_faults plan);
+  check Alcotest.int "strikes at round 2" 2 (Fault_plan.last_round plan)
+
+(* ---- incremental certification ---- *)
+
+let test_cert_create_matches_full () =
+  let g = Generators.random_regular (Prng.create 7) 60 8 in
+  let h = Classic.greedy g ~k:2 in
+  let cert = Stretch.cert_create g h ~bound:3 in
+  check Alcotest.bool "violations match" true
+    (Stretch.cert_violations cert = Stretch.violations g h ~bound:3);
+  check Alcotest.bool "stretch matches" true
+    (Stretch.cert_stretch_bound cert = Stretch.exact_bounded g h ~bound:3);
+  check Alcotest.int "bound recorded" 3 (Stretch.cert_bound cert)
+
+let test_cert_create_rejects () =
+  let expects_invalid name f =
+    check Alcotest.bool name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  expects_invalid "node counts differ" (fun () ->
+      Stretch.cert_create (Generators.cycle 5) (Generators.cycle 4) ~bound:3);
+  expects_invalid "bound < 1" (fun () ->
+      Stretch.cert_create (Generators.cycle 5) (Generators.cycle 5) ~bound:0);
+  expects_invalid "touched out of range" (fun () ->
+      let g = Generators.cycle 5 in
+      let cert = Stretch.cert_create g g ~bound:3 in
+      Stretch.violations_incremental cert g g ~touched:[| 7 |])
+
+let test_incremental_sweeps_strictly_fewer () =
+  (* large-diameter torus, localized single-edge churn: the dirty 3-ball
+     covers a corner of the graph, so the incremental certifier must skip
+     most source groups while agreeing with the full sweep *)
+  let g = Generators.torus 12 12 in
+  let h = Graph.copy g in
+  (* scatter removed edges so many source groups exist *)
+  let i = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      incr i;
+      if !i mod 5 = 0 then ignore (Graph.remove_edge h u v));
+  let cert = Stretch.cert_create g h ~bound:3 in
+  let ap = Churn_gen.apply ~g ~h [ Churn_gen.Del_edge (0, 1) ] in
+  let r = Stretch.violations_incremental cert g h ~touched:ap.Churn_gen.ap_touched in
+  check Alcotest.bool "many groups" true (r.Stretch.inc_groups > 20);
+  check Alcotest.bool
+    (Printf.sprintf "swept %d strictly fewer than %d groups" r.Stretch.inc_swept
+       r.Stretch.inc_groups)
+    true
+    (r.Stretch.inc_swept < r.Stretch.inc_groups);
+  check Alcotest.bool "agrees with full sweep" true
+    (r.Stretch.inc_violations = Stretch.violations g h ~bound:3)
+
+let prop_incremental_oracle =
+  QCheck.Test.make ~name:"violations_incremental == full violations under churn" ~count:25
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, nbatches) ->
+      let g = Generators.random_regular (Prng.create 17) 48 6 in
+      let h = Classic.greedy g ~k:2 in
+      let bound = 3 in
+      let cert = Stretch.cert_create g h ~bound in
+      let rng = Prng.create (100 + seed) in
+      let ok = ref (Stretch.cert_violations cert = Stretch.violations g h ~bound) in
+      for _ = 1 to nbatches do
+        let events =
+          Churn_gen.generate Churn_gen.Uniform rng ~g ~h ~loads:(no_loads g) ~count:6
+        in
+        let ap = Churn_gen.apply ~g ~h events in
+        let r = Stretch.violations_incremental cert g h ~touched:ap.Churn_gen.ap_touched in
+        ok :=
+          !ok
+          && r.Stretch.inc_violations = Stretch.violations g h ~bound
+          && r.Stretch.inc_swept <= r.Stretch.inc_groups
+          && Stretch.cert_stretch_bound cert = Stretch.exact_bounded g h ~bound
+      done;
+      !ok)
+
+(* ---- soak engine ---- *)
+
+let soak_inputs seed =
+  let g = Generators.random_regular (Prng.create seed) 100 12 in
+  let h = Classic.greedy g ~k:2 in
+  (g, h)
+
+let test_soak_certified_every_batch () =
+  (* the acceptance run: >= 1000 churn events at quick scale, certified
+     (dist_stretch <= alpha) after every batch *)
+  let g, h = soak_inputs 21 in
+  let config = { Soak.default with events = 1000; batch = 50; seed = 77 } in
+  let r = Soak.run config ~graph:g ~spanner:h in
+  check Alcotest.int "1000 events generated" 1000 r.Soak.r_events_generated;
+  check Alcotest.int "every batch certified" r.Soak.r_batch_count r.Soak.r_certified_batches;
+  List.iter
+    (fun b ->
+      check Alcotest.bool
+        (Printf.sprintf "batch %d certified with stretch <= alpha" b.Soak.bs_round)
+        true
+        (b.Soak.bs_certified && b.Soak.bs_dist_stretch <= config.Soak.alpha))
+    r.Soak.r_batches;
+  check Alcotest.bool "final full audit certified" true r.Soak.r_final_certified;
+  check Alcotest.bool "inputs not mutated" true
+    (Graph.m g = 600 && Graph.is_subgraph h ~of_:g)
+
+let test_soak_deterministic () =
+  let run () =
+    let g, h = soak_inputs 22 in
+    Soak.run { Soak.default with events = 300; batch = 30; seed = 5 } ~graph:g ~spanner:h
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "same-seed reports identical" true (a = b);
+  check Alcotest.bool "same-seed json byte-identical" true (Soak.to_json a = Soak.to_json b)
+
+let test_soak_traffic_accounting () =
+  let g, h = soak_inputs 23 in
+  let config = { Soak.default with events = 200; batch = 20; seed = 9; requests = 8 } in
+  let r = Soak.run config ~graph:g ~spanner:h in
+  check Alcotest.int "every request resolved"
+    (r.Soak.r_batch_count * config.Soak.requests)
+    (r.Soak.r_delivered + r.Soak.r_dropped);
+  List.iter
+    (fun b ->
+      check Alcotest.bool "traffic stretch >= 1" true (b.Soak.bs_traffic_stretch >= 1.0))
+    r.Soak.r_batches
+
+let test_soak_rejects () =
+  let expects_invalid name f =
+    check Alcotest.bool name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  let g, h = soak_inputs 24 in
+  expects_invalid "events < 1" (fun () ->
+      Soak.run { Soak.default with events = 0 } ~graph:g ~spanner:h);
+  expects_invalid "batch < 1" (fun () ->
+      Soak.run { Soak.default with batch = 0 } ~graph:g ~spanner:h);
+  expects_invalid "non-subgraph spanner" (fun () ->
+      Soak.run Soak.default ~graph:h ~spanner:g);
+  expects_invalid "node counts differ" (fun () ->
+      Soak.run Soak.default ~graph:g ~spanner:(Generators.cycle 5))
+
+let test_soak_json_shape () =
+  let g, h = soak_inputs 25 in
+  let r = Soak.run { Soak.default with events = 100; batch = 25 } ~graph:g ~spanner:h in
+  let js = Soak.to_json r in
+  List.iter
+    (fun key ->
+      let re = Printf.sprintf "\"%s\"" key in
+      let rec find i =
+        i + String.length re <= String.length js
+        && (String.sub js i (String.length re) = re || find (i + 1))
+      in
+      check Alcotest.bool (Printf.sprintf "json has %S" key) true (find 0))
+    [
+      "dcs-soak/1"; "plan"; "seed"; "alpha"; "totals"; "swept"; "groups"; "batches";
+      "dist_stretch"; "certified"; "traffic_stretch";
+    ]
+
+let prop_soak_deterministic =
+  QCheck.Test.make ~name:"soak reports are pure functions of the seed" ~count:5
+    QCheck.small_int
+    (fun seed ->
+      let run () =
+        let g = Generators.torus 8 8 in
+        let h = Classic.greedy g ~k:2 in
+        Soak.run
+          { Soak.default with events = 60; batch = 10; seed; requests = 4 }
+          ~graph:g ~spanner:h
+      in
+      Soak.to_json (run ()) = Soak.to_json (run ()))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "churn"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "events applicable" `Quick test_gen_events_applicable;
+          Alcotest.test_case "kind names" `Quick test_gen_kind_names;
+          Alcotest.test_case "touched includes neighbours" `Quick
+            test_apply_touched_includes_isolate_neighbors;
+          Alcotest.test_case "rejects bad events" `Quick test_apply_rejects_bad_events;
+          Alcotest.test_case "fault plan projection" `Quick test_to_fault_plan_projection;
+        ] );
+      ( "incremental-cert",
+        [
+          Alcotest.test_case "create matches full" `Quick test_cert_create_matches_full;
+          Alcotest.test_case "rejects invalid" `Quick test_cert_create_rejects;
+          Alcotest.test_case "sweeps strictly fewer" `Quick
+            test_incremental_sweeps_strictly_fewer;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "certified every batch (1000 events)" `Quick
+            test_soak_certified_every_batch;
+          Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
+          Alcotest.test_case "traffic accounting" `Quick test_soak_traffic_accounting;
+          Alcotest.test_case "rejects invalid" `Quick test_soak_rejects;
+          Alcotest.test_case "json shape" `Quick test_soak_json_shape;
+        ] );
+      ("qcheck", q [ prop_incremental_oracle; prop_soak_deterministic ]);
+    ]

@@ -136,6 +136,43 @@ let test_log_writes_jsonl () =
                check Alcotest.bool "line is a JSON object" true
                  (line.[0] = '{' && line.[String.length line - 1] = '}')))
 
+(* ---- soak subcommand -------------------------------------------------- *)
+
+let soak_args json =
+  Printf.sprintf
+    "soak --family regular -n 60 -d 8 --events 120 --batch 30 --seed 11 --json %s" json
+
+let test_soak_json_report () =
+  let json = Filename.temp_file "dcs_cli_soak" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove json)
+    (fun () ->
+      check Alcotest.int "soak runs certified" 0 (run_cli (soak_args json));
+      let body = read_file json in
+      List.iter
+        (fun key ->
+          check Alcotest.bool (Printf.sprintf "report has %S" key) true
+            (body_contains body (Printf.sprintf "\"%s\"" key)))
+        [
+          "schema"; "plan"; "seed"; "alpha"; "certified_batches"; "final";
+          "certified"; "traffic_stretch"; "batches"; "swept"; "groups";
+        ];
+      check Alcotest.bool "schema is dcs-soak/1" true (body_contains body "dcs-soak/1"))
+
+let test_soak_same_seed_byte_identical () =
+  let a = Filename.temp_file "dcs_cli_soak_a" ".json" in
+  let b = Filename.temp_file "dcs_cli_soak_b" ".json" in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ a; b ])
+    (fun () ->
+      check Alcotest.int "first run" 0 (run_cli (soak_args a));
+      check Alcotest.int "second run" 0 (run_cli (soak_args b));
+      check Alcotest.string "same seed, byte-identical JSON" (read_file a) (read_file b))
+
+let test_soak_bad_plan_exits_123 () =
+  check Alcotest.int "unknown churn plan" 123
+    (run_cli "soak --family torus -n 25 --events 10 --plan chaotic")
+
 (* ---- bench regression gate (exit codes 0 / 1 / 2) -------------------- *)
 
 let bench = Filename.concat Filename.parent_dir_name (Filename.concat "bench" "main.exe")
@@ -192,6 +229,12 @@ let () =
           Alcotest.test_case "json matches registry" `Quick test_list_json_is_registry;
         ] );
       ("faults", [ Alcotest.test_case "json report" `Quick test_faults_json_report ]);
+      ( "soak",
+        [
+          Alcotest.test_case "json report" `Quick test_soak_json_report;
+          Alcotest.test_case "same seed byte-identical" `Quick test_soak_same_seed_byte_identical;
+          Alcotest.test_case "bad plan" `Quick test_soak_bad_plan_exits_123;
+        ] );
       ( "observability",
         [
           Alcotest.test_case "--profile prints breakdown" `Quick test_profile_prints_breakdown;

@@ -100,6 +100,16 @@ let test_plan_merge_and_survivor () =
   check Alcotest.bool "edge removed" false (Graph.mem_edge s 2 3);
   check Alcotest.int "input untouched" 6 (Graph.m g)
 
+let test_plan_merge_rejects_mismatched_n () =
+  let a = Fault_plan.(schedule ~n:6 [ (1, [ Fail_node 0 ]) ]) in
+  let b = Fault_plan.(schedule ~n:7 [ (1, [ Fail_node 0 ]) ]) in
+  check Alcotest.bool "node-count mismatch rejected with prefixed message" true
+    (try
+       ignore (Fault_plan.merge a b);
+       false
+     with Invalid_argument msg ->
+       String.length msg >= 16 && String.sub msg 0 16 = "Fault_plan.merge")
+
 (* ---- fault-aware simulation: scenarios ---- *)
 
 let cycle4 = Generators.cycle 4
@@ -289,7 +299,48 @@ let test_repair_certify_dc () =
        false
      with Invalid_argument _ -> true)
 
+(* ---- repair robustness edge cases ---- *)
+
+let test_repair_multi_component_survivor () =
+  (* two disjoint triangles: repair must report connected (component counts
+     match [within]) and certified, without inventing cross-component edges *)
+  let g = Graph.create 6 in
+  List.iter
+    (fun (u, v) -> ignore (Graph.add_edge g u v))
+    [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ];
+  let h = Graph.empty_like g in
+  let rep = Repair.run h ~within:g in
+  check Alcotest.int "components match within" (Connectivity.count g)
+    (Connectivity.count rep.Repair.spanner);
+  check Alcotest.bool "connected (per component)" true rep.Repair.connected;
+  check Alcotest.bool "certified" true rep.Repair.certified;
+  check Alcotest.bool "stretch within alpha" true (rep.Repair.dist_stretch <= 3)
+
+let test_repair_empty_survivor () =
+  (* every edge gone from both graphs: nothing to add, trivially certified *)
+  let within = Graph.create 5 in
+  let rep = Repair.run (Graph.create 5) ~within in
+  check Alcotest.int "nothing added" 0 (List.length rep.Repair.added);
+  check Alcotest.bool "connected" true rep.Repair.connected;
+  check Alcotest.bool "certified" true rep.Repair.certified;
+  check Alcotest.int "stretch 1" 1 rep.Repair.dist_stretch
+
 (* ---- qcheck ---- *)
+
+let prop_repair_idempotent =
+  QCheck.Test.make ~name:"repairing an already-repaired spanner adds zero edges" ~count:20
+    QCheck.(pair small_int (int_range 0 30))
+    (fun (seed, pct) ->
+      let g = Generators.random_regular (Prng.create 19) 60 10 in
+      let h = Classic.greedy g ~k:2 in
+      let plan =
+        Fault_plan.uniform_nodes (Prng.create (400 + seed)) g ~p:(float_of_int pct /. 100.0)
+      in
+      let g' = Fault_plan.survivor g plan in
+      let h' = Fault_plan.survivor h plan in
+      let first = Repair.run h' ~within:g' in
+      let again = Repair.run first.Repair.spanner ~within:g' in
+      again.Repair.added = [] && again.Repair.certified = first.Repair.certified)
 
 let prop_plan_reproducible =
   QCheck.Test.make ~name:"fault plans are pure functions of the seed" ~count:40
@@ -344,6 +395,8 @@ let () =
           Alcotest.test_case "rate extremes" `Quick test_plan_rates;
           Alcotest.test_case "adversarial hotspots" `Quick test_plan_adversarial_targets_hotspots;
           Alcotest.test_case "merge and survivor" `Quick test_plan_merge_and_survivor;
+          Alcotest.test_case "merge rejects mismatched n" `Quick
+            test_plan_merge_rejects_mismatched_n;
         ] );
       ( "simulation",
         [
@@ -368,6 +421,15 @@ let () =
           Alcotest.test_case "rejects non-subgraph" `Quick test_repair_rejects_non_subgraph;
           Alcotest.test_case "deterministic" `Quick test_repair_deterministic;
           Alcotest.test_case "certify dc" `Quick test_repair_certify_dc;
+          Alcotest.test_case "multi-component survivor" `Quick
+            test_repair_multi_component_survivor;
+          Alcotest.test_case "empty survivor" `Quick test_repair_empty_survivor;
         ] );
-      ("properties", q [ prop_plan_reproducible; prop_rate0_equivalence; prop_repair_certifies ]);
+      ("properties", q
+          [
+            prop_plan_reproducible;
+            prop_rate0_equivalence;
+            prop_repair_certifies;
+            prop_repair_idempotent;
+          ]);
     ]
