@@ -4,7 +4,7 @@
 
    Usage:  dune exec bench/main.exe [-- block ... [flags]]
    Blocks: table1 figures lemmas distributed ablations extensions fault soak
-   timing kernels obs; all (default all).
+   engine timing kernels obs; all (default all).
    Flags:  --write-baseline FILE   combined stable-metric baseline of this run
            --compare FILE          judge this run against a baseline; exit 1 on
                                    regression, 2 on a malformed/unmatched baseline
@@ -1506,22 +1506,7 @@ let run_kernels br =
   Report.add_note table
     (Printf.sprintf "grouped = one sweep per source; batched = %d sources/sweep + domains."
        Bfs_batch.width);
-  Report.print table;
-  (* DCS_BENCH_KERNELS predates the unified DCS_BENCH_DIR export: honour the
-     exact path it names for one release, in the dcs-bench/1 schema *)
-  match Sys.getenv_opt "DCS_BENCH_KERNELS" with
-  | None | Some "" -> ()
-  | Some path ->
-      Log.warn "deprecated.env"
-        ~fields:[ ("alias", "DCS_BENCH_KERNELS"); ("replacement", "DCS_BENCH_DIR") ];
-      if not (Log.enabled Log.Warn) then
-        Printf.eprintf
-          "note: DCS_BENCH_KERNELS is deprecated and will be removed next release; use \
-           DCS_BENCH_DIR\n%!";
-      let oc = open_out path in
-      output_string oc (Bench_report.to_json br);
-      close_out oc;
-      Printf.printf "wrote %s (DCS_BENCH_KERNELS is deprecated; use DCS_BENCH_DIR)\n" path
+  Report.print table
 
 (* ------------------------------------------------------------------ *)
 (* Sustained-churn soak: steady-state robustness under continuous      *)
@@ -1599,6 +1584,110 @@ let run_soak br =
   Report.print table
 
 (* ------------------------------------------------------------------ *)
+(* Engine: streaming Bigarray-CSR build + near-linear-time spanner at  *)
+(* million-node scale (ROADMAP graph-engine item)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* DCS_ENGINE_MAX_N caps the engine sweep sizes (CI smoke runs just the
+   10^5 case without forking a dedicated scale). *)
+let engine_max_n () =
+  match Sys.getenv_opt "DCS_ENGINE_MAX_N" with
+  | None | Some "" -> max_int
+  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> max_int)
+
+let run_engine br =
+  Report.section "ENGINE (Bigarray CSR storage + Elkin-Neiman construction)";
+  Printf.printf "streaming expander -> Elkin-Neiman (k = 2) -> full grouped certification\n\n";
+  let table =
+    Report.create ~title:"graph engine at scale (expander, degree 16)"
+      ~columns:
+        [
+          "n"; "m"; "m(H)"; "removed"; "repaired"; "stretch"; "build s"; "spanner s";
+          "certify s"; "Mnodes/s"; "Medges/s"; "peak RSS";
+        ]
+  in
+  let ns =
+    pick
+      ~quick:[ 100_000; 1_000_000 ]
+      ~standard:[ 100_000; 1_000_000; 2_000_000 ]
+      ~full:[ 100_000; 1_000_000; 4_000_000 ]
+    |> List.filter (fun n -> n <= engine_max_n ())
+  in
+  (* Resource.sample is a no-op unless metrics (or tracing) is on; enable it
+     for the duration of the block so the peak-RSS gauge sees every phase
+     boundary, then restore the flag. *)
+  let saved_metrics = !Obs.metrics in
+  Obs.metrics := true;
+  Fun.protect
+    ~finally:(fun () -> Obs.metrics := saved_metrics)
+    (fun () ->
+      List.iter
+        (fun n ->
+          let degree = 16 in
+          Resource.sample ();
+          let t0 = Obs.now_us () in
+          let g = Generators.expander (Prng.create (8000 + (n / 1000))) n degree in
+          let t1 = Obs.now_us () in
+          Resource.sample ();
+          let r = Elkin_neiman.build (Prng.create (8100 + (n / 1000))) g in
+          let t2 = Obs.now_us () in
+          Resource.sample ();
+          let h = r.Elkin_neiman.spanner in
+          let stretch = Stretch.exact_bounded g h ~bound:3 in
+          let t3 = Obs.now_us () in
+          Resource.sample ();
+          let m_graph = Graph.m g and m_spanner = Graph.m h in
+          let total_s = (t3 -. t0) /. 1e6 in
+          let nodes_per_sec = float_of_int n /. total_s in
+          let edges_per_sec = float_of_int m_graph /. total_s in
+          let peak = Resource.peak_rss_kb () in
+          let case = Printf.sprintf "engine.n%d" n in
+          (* seeded + integer-only generator: exact across platforms *)
+          Bench_report.add br ~units:"edges" (case ^ ".m_graph") (float_of_int m_graph);
+          (* EN keep rule compares libm-derived floats, so the edge count can
+             drift by a handful of edges across libms — well inside the
+             percent-scale gate tolerance *)
+          Bench_report.add br ~units:"edges" (case ^ ".m_spanner") (float_of_int m_spanner);
+          Bench_report.add br ~units:"bool" ~higher_is_better:true (case ^ ".certified")
+            (if stretch <= 3 then 1.0 else 0.0);
+          Bench_report.add br ~stable:false ~units:"edges" (case ^ ".removed")
+            (float_of_int r.Elkin_neiman.removed);
+          Bench_report.add br ~stable:false ~units:"edges" (case ^ ".repaired")
+            (float_of_int r.Elkin_neiman.repaired);
+          Bench_report.add br ~stable:false ~units:"ms" (case ^ ".build_ms")
+            ((t1 -. t0) /. 1e3);
+          Bench_report.add br ~stable:false ~units:"ms" (case ^ ".spanner_ms")
+            ((t2 -. t1) /. 1e3);
+          Bench_report.add br ~stable:false ~units:"ms" (case ^ ".certify_ms")
+            ((t3 -. t2) /. 1e3);
+          Bench_report.add br ~stable:false ~units:"nodes/s" ~higher_is_better:true
+            (case ^ ".nodes_per_sec") nodes_per_sec;
+          Bench_report.add br ~stable:false ~units:"edges/s" ~higher_is_better:true
+            (case ^ ".edges_per_sec") edges_per_sec;
+          Bench_report.add br ~stable:false ~units:"kb" (case ^ ".peak_rss_kb")
+            (float_of_int peak);
+          Report.add_row table
+            [
+              string_of_int n;
+              string_of_int m_graph;
+              string_of_int m_spanner;
+              string_of_int r.Elkin_neiman.removed;
+              string_of_int r.Elkin_neiman.repaired;
+              string_of_int stretch;
+              Printf.sprintf "%.2f" ((t1 -. t0) /. 1e6);
+              Printf.sprintf "%.2f" ((t2 -. t1) /. 1e6);
+              Printf.sprintf "%.2f" ((t3 -. t2) /. 1e6);
+              Printf.sprintf "%.2f" (nodes_per_sec /. 1e6);
+              Printf.sprintf "%.2f" (edges_per_sec /. 1e6);
+              Printf.sprintf "%d MB" (peak / 1024);
+            ])
+        ns);
+  Report.add_note table "whole pipeline is O(n + m): streaming generator, counting-sort CSR,";
+  Report.add_note table "k rounds of max-propagation, grouped MS-BFS certificate; peak RSS is";
+  Report.add_note table "checkpoint-sampled at phase boundaries (Dcs_obs.Resource).";
+  Report.print table
+
+(* ------------------------------------------------------------------ *)
 
 let all_blocks =
   [
@@ -1610,6 +1699,7 @@ let all_blocks =
     "extensions";
     "fault";
     "soak";
+    "engine";
     "timing";
     "kernels";
     "obs";
@@ -1659,6 +1749,7 @@ let block_runners =
     ("extensions", run_extensions);
     ("fault", run_fault);
     ("soak", run_soak);
+    ("engine", run_engine);
     ("timing", run_timing);
     ("kernels", run_kernels);
     ("obs", run_obs);
@@ -1700,7 +1791,7 @@ let () =
       | None ->
           Printf.printf
             "unknown block %S (use \
-             table1|figures|lemmas|distributed|ablations|extensions|fault|soak|timing|kernels|obs)\n"
+             table1|figures|lemmas|distributed|ablations|extensions|fault|soak|engine|timing|kernels|obs)\n"
             block
       | Some run ->
           let br = Bench_report.create ~block ~scale:scale_name in

@@ -126,6 +126,9 @@ let make_graph ?input ~family ~n ~degree ~p ~seed () =
           let d = int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
           Ok (Generators.hypercube d)
       | "erdos" -> Ok (Generators.erdos_renyi rng n p)
+      | "expander" ->
+          (* streaming O(n + m) build — the family that scales to 10^6 nodes *)
+          Ok (Generators.expander rng (max 3 n) (max 2 (min degree (n - 1))))
       | "complete" -> Ok (Generators.complete n)
       | "two-cliques" -> Ok (Generators.two_cliques_matching (if n mod 2 = 1 then n + 1 else n))
       | "ring" -> Ok (Generators.ring_of_cliques (max 2 (n / 20)) 20)
@@ -133,13 +136,13 @@ let make_graph ?input ~family ~n ~degree ~p ~seed () =
           Error
             (Printf.sprintf
                "unknown graph family %S (expected regular | margulis | torus | hypercube | \
-                erdos | complete | two-cliques | ring)"
+                erdos | expander | complete | two-cliques | ring)"
                other))
 
 let family_arg =
   let doc =
-    "Graph family: regular | margulis | torus | hypercube | erdos | complete | two-cliques | \
-     ring."
+    "Graph family: regular | margulis | torus | hypercube | erdos | expander | complete | \
+     two-cliques | ring."
   in
   Arg.(value & opt string "regular" & info [ "family"; "f" ] ~docv:"FAMILY" ~doc)
 

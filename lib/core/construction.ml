@@ -52,6 +52,11 @@ let all =
     entry ~name:"baswana-sen"
       ~reference:"baseline [BS07] (distance-only)" ~premise:Premise.Any ~alpha:3.0
       ~edge_exponent:1.5 Dc_spanner.Baswana_sen;
+    entry ~name:"elkin-neiman" ~aliases:[ "en" ]
+      ~reference:"baseline [EN17] (distance-only, O(m) expected time)" ~premise:Premise.Any
+      ~alpha:3.0 ~edge_exponent:1.5
+      ~params:[ ("k", "2") ]
+      Dc_spanner.Elkin_neiman;
     entry ~name:"khop-5" ~aliases:[ "khop3" ]
       ~reference:"Section 8 open problem (k-hop, k = 3)" ~premise:Premise.Any ~alpha:5.0
       ~edge_exponent:(1.0 +. (1.0 /. 3.0))

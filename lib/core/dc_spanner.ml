@@ -3,6 +3,7 @@ type algorithm =
   | Algorithm1
   | Greedy of int
   | Baswana_sen
+  | Elkin_neiman
   | Spectral_sparsify
   | Bounded_degree
   | Khop of int
@@ -13,6 +14,7 @@ let algorithm_name = function
   | Algorithm1 -> "algorithm1"
   | Greedy k -> Printf.sprintf "greedy-%d" ((2 * k) - 1)
   | Baswana_sen -> "baswana-sen"
+  | Elkin_neiman -> "elkin-neiman"
   | Spectral_sparsify -> "spectral[16]"
   | Bounded_degree -> "bounded-deg[5]"
   | Khop k -> Printf.sprintf "khop-%d" ((2 * k) - 1)
@@ -32,6 +34,9 @@ let build algorithm rng g =
   | Baswana_sen ->
       let h = Classic.baswana_sen_3 rng g in
       Dc.of_sp_router ~name:"baswana-sen" ~graph:g ~spanner:h
+  | Elkin_neiman ->
+      let r = Elkin_neiman.build rng g in
+      Dc.of_sp_router ~name:"elkin-neiman" ~graph:g ~spanner:r.Elkin_neiman.spanner
   | Spectral_sparsify ->
       let t = Sparsify.spectral rng g in
       Sparsify.to_dc ~name:"spectral[16]" t g
@@ -50,6 +55,7 @@ let stretch_guarantee = function
   | Algorithm1 -> "(3, O(sqrt(D) log n)) with O(n^{5/3} log^2 n) edges on D-regular, D >= n^{2/3}"
   | Greedy k -> Printf.sprintf "(%d, unbounded) with O(n^{1+1/%d}) edges" ((2 * k) - 1) k
   | Baswana_sen -> "(3, unbounded) with O(n^{3/2}) edges"
+  | Elkin_neiman -> "(3, unbounded) with O(n^{3/2}) edges in O(m) expected time"
   | Spectral_sparsify -> "(O(log n), O(log^4 n)) with O(n log n) edges on expanders"
   | Bounded_degree -> "(O(log n), O(log^3 n)) with O(n) edges on dense expanders"
   | Khop k ->

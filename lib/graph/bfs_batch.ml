@@ -78,14 +78,14 @@ let run ?(bound = max_int) (g : Csr.t) sources =
       for v = 0 to n - 1 do
         (* SAFETY: v < n <= length of the arena arrays ([scratch n] grows
            them); xadj has n+1 entries so v+1 is in bounds; CSR construction
-           bounds every xadj value by length adjncy and every adjncy entry
+           bounds every xadj value by dim adjncy and every adjncy entry
            by n (Graph.snapshot builds both from validated edges). *)
         let fv = Array.unsafe_get frontier v in
         if fv <> 0 then begin
-          let start = Array.unsafe_get xadj v in
-          let stop = Array.unsafe_get xadj (v + 1) in
+          let start = Bigarray.Array1.unsafe_get xadj v in
+          let stop = Bigarray.Array1.unsafe_get xadj (v + 1) in
           for i = start to stop - 1 do
-            let u = Array.unsafe_get adjncy i in
+            let u = Bigarray.Array1.unsafe_get adjncy i in
             Array.unsafe_set next u (Array.unsafe_get next u lor fv)
           done;
           words := !words + (stop - start)

@@ -1,32 +1,23 @@
-type t = Graph.csr = private { n : int; xadj : int array; adjncy : int array }
+type t = Graph.csr = private { n : int; xadj : Csr_store.ba; adjncy : Csr_store.ba }
 
 let of_graph = Graph.to_csr
 
 let snapshot = Graph.snapshot
 
-let n t = t.n
+let of_stream = Csr_store.of_stream
 
-let m t = Array.length t.adjncy / 2
+let empty = Csr_store.empty
 
-let degree t v = t.xadj.(v + 1) - t.xadj.(v)
+let n = Csr_store.n
 
-let iter_neighbors t v f =
-  (* the checked xadj reads validate v before the unsafe adjncy scan *)
-  for i = t.xadj.(v) to t.xadj.(v + 1) - 1 do
-    (* SAFETY: CSR construction bounds every xadj value by length adjncy,
-       so i < length adjncy throughout the row. *)
-    f (Array.unsafe_get t.adjncy i)
-  done
+let m = Csr_store.m
 
-let mem_edge t u v =
-  (* the checked xadj reads validate u before the unsafe binary search *)
-  let lo = ref t.xadj.(u) and hi = ref (t.xadj.(u + 1) - 1) in
-  let found = ref false in
-  while (not !found) && !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    (* SAFETY: xadj.(u) <= lo <= mid <= hi < xadj.(u+1) <= length adjncy,
-       by the CSR construction invariant. *)
-    let x = Array.unsafe_get t.adjncy mid in
-    if x = v then found := true else if x < v then lo := mid + 1 else hi := mid - 1
-  done;
-  !found
+let degree = Csr_store.degree
+
+let iter_neighbors = Csr_store.iter_row
+
+let fold_neighbors = Csr_store.fold_row
+
+let mem_edge = Csr_store.mem
+
+let iter_edges = Csr_store.iter_edges

@@ -1,13 +1,15 @@
 (** Immutable compressed-sparse-row snapshot of a graph.
 
     BFS sweeps, spectral power iteration, and the routing measurements are the
-    hot loops of the benchmark harness; they all run over this flat-array
-    representation instead of the hash-based {!Graph.t}. *)
+    hot loops of the benchmark harness; they all run over this flat
+    Bigarray-backed representation ({!Csr_store.t}) instead of the delta-log
+    {!Graph.t}.  Kernels borrow rows in place: [xadj.{v} .. xadj.{v+1} - 1]
+    indexes straight into [adjncy] with no copying. *)
 
 type t = Graph.csr = private {
   n : int;  (** number of nodes *)
-  xadj : int array;  (** offsets: neighbors of [v] live at [xadj.(v) .. xadj.(v+1) - 1] *)
-  adjncy : int array;  (** concatenated neighbor lists *)
+  xadj : Csr_store.ba;  (** offsets: neighbors of [v] live at [xadj.{v} .. xadj.{v+1} - 1] *)
+  adjncy : Csr_store.ba;  (** concatenated neighbor lists, sorted ascending per node *)
 }
 
 val of_graph : Graph.t -> t
@@ -22,6 +24,14 @@ val snapshot : Graph.t -> t
     equal snapshot is returned.  [csr.snapshot_hits] / [csr.snapshot_builds]
     metrics count the cache behavior. *)
 
+val of_stream : ?m_hint:int -> n:int -> ((int -> int -> unit) -> unit) -> t
+(** O(n + m) counting-sort construction from an edge stream, bypassing
+    {!Graph.t} entirely ({!Csr_store.of_stream}).  The streaming path for
+    million-node graphs. *)
+
+val empty : int -> t
+(** The edgeless snapshot on [n] nodes. *)
+
 val n : t -> int
 (** Number of nodes. *)
 
@@ -32,8 +42,14 @@ val degree : t -> int -> int
 (** Degree of a node. *)
 
 val iter_neighbors : t -> int -> (int -> unit) -> unit
-(** Iterate over the neighbors of a node. *)
+(** Iterate over the neighbors of a node, ascending. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over the neighbors of a node, ascending. *)
 
 val mem_edge : t -> int -> int -> bool
 (** Edge membership by binary search over the sorted neighbor list:
     O(log deg). *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterate each edge exactly once as [(u, v)] with [u < v]. *)

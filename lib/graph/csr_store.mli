@@ -1,0 +1,57 @@
+(** Flat Bigarray-backed CSR storage — the primary graph representation.
+
+    Both {!Graph.t} snapshots and {!Csr.t} are this type: [n + 1] row offsets
+    and [2m] concatenated neighbor lists held in off-heap [int] Bigarrays, so
+    storage is exactly [(n + 1) + 2m] machine words, invisible to the GC, and
+    laid out for sequential scans.  Rows are sorted ascending and free of
+    duplicates and self-loops, which makes the structure canonical for a given
+    edge set: two stores over the same edges are element-for-element equal.
+
+    {!of_stream} builds the structure in O(n + m) time by counting sort from
+    an arbitrary edge stream — no per-node hash tables, no comparison sort —
+    which is what keeps 10^6-node builds at memory bandwidth. *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Off-heap [int] array; element [i] reads as [a.{i}]. *)
+
+type t = private {
+  n : int;  (** number of nodes *)
+  xadj : ba;  (** offsets: neighbors of [v] live at [xadj.{v} .. xadj.{v+1} - 1] *)
+  adjncy : ba;  (** concatenated neighbor lists, sorted ascending per node *)
+}
+
+val empty : int -> t
+(** [empty n] is the edgeless store on [n] nodes. *)
+
+val of_stream : ?m_hint:int -> n:int -> ((int -> int -> unit) -> unit) -> t
+(** [of_stream ~n produce] runs [produce emit] and builds the CSR from every
+    [emit u v] call in O(n + m): arcs are buffered (doubling growth, so pass
+    [~m_hint] when the edge count is known to avoid regrows), counting-sorted
+    by destination, and transpose-scattered into sorted rows.  Emitting an
+    edge once suffices; duplicates (either orientation) and self-loops are
+    dropped.  Raises [Invalid_argument] if an endpoint is out of range. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of undirected edges. *)
+
+val arcs : t -> int
+(** Number of stored arcs, [2 * m t] (= [dim adjncy]). *)
+
+val degree : t -> int -> int
+(** Row length of a node.  Raises [Invalid_argument] out of range. *)
+
+val iter_row : t -> int -> (int -> unit) -> unit
+(** Iterate a node's neighbors in ascending order, without copying. *)
+
+val fold_row : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over a node's neighbors in ascending order. *)
+
+val mem : t -> int -> int -> bool
+(** Edge membership by binary search over the sorted row: O(log deg). *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterate each edge once as [(u, v)] with [u < v], ascending
+    lexicographically. *)

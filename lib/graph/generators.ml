@@ -321,3 +321,24 @@ let preferential_attachment rng ~n ~m =
     done
   done;
   g
+
+(* Streaming expander: never touches Graph.add_edge.  A Hamiltonian cycle
+   guarantees connectivity; each random permutation contributes a 2-regular
+   union of cycles, so the union is near-(2 + 2*rounds)-regular and an
+   expander w.h.p. (random permutation unions mix like random regular
+   graphs).  All arcs go straight into one O(n + m) counting-sort build. *)
+let expander rng n d =
+  if n < 3 then invalid_arg "Generators.expander: need n >= 3";
+  if d < 2 || d >= n then invalid_arg "Generators.expander: need 2 <= d < n";
+  let rounds = (d - 2 + 1) / 2 in
+  let c =
+    Csr_store.of_stream ~m_hint:(n * (d + 1) / 2) ~n (fun emit ->
+        for v = 0 to n - 1 do
+          emit v (if v = n - 1 then 0 else v + 1)
+        done;
+        for _ = 1 to rounds do
+          let p = Prng.permutation rng n in
+          Array.iteri (fun i j -> if i <> j then emit i j) p
+        done)
+  in
+  Graph.of_csr c

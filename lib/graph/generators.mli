@@ -76,3 +76,12 @@ val preferential_attachment : Prng.t -> n:int -> m:int -> Graph.t
     to existing nodes with probability proportional to current degree
     (realized by sampling uniformly from the edge-endpoint multiset).
     Requires [n > m >= 1]. *)
+
+val expander : Prng.t -> int -> int -> Graph.t
+(** [expander rng n d]: streaming O(n + m) near-[d]-regular expander — a
+    Hamiltonian cycle (connectivity) unioned with [⌈(d-2)/2⌉] uniform random
+    permutations (each a 2-regular union of cycles).  Built entirely through
+    {!Csr_store.of_stream}, never {!Graph.add_edge}, so a 10^6-node instance
+    costs one counting sort.  Degrees are [d] rounded up to even, minus
+    permutation fixed points and duplicate collisions (a o(1) fraction);
+    requires [2 <= d < n]. *)

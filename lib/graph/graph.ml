@@ -1,7 +1,22 @@
-type csr = { n : int; xadj : int array; adjncy : int array }
+(* Delta-log graph over an immutable Bigarray CSR base.
+
+   The committed edge set lives in [base] (a Csr_store.t); mutations are
+   recorded in a small delta — [added] / [dels] keyed by normalized edge,
+   plus per-node [adds] lists so added neighbors can be iterated — and the
+   delta is replayed into a fresh base (an O(m) counting-sort rebuild) once
+   it reaches half the base size.  The growth policy is geometric, so a
+   build-by-add_edge of m edges costs O(m) total, while reads stay flat-array
+   speed: a neighbor scan is the sorted base row (skipping deleted edges only
+   when deletions exist) plus the node's few delta additions. *)
+
+type csr = Csr_store.t = private { n : int; xadj : Csr_store.ba; adjncy : Csr_store.ba }
 
 type t = {
-  adj : (int, unit) Hashtbl.t array;
+  mutable base : csr;  (* committed snapshot of the edge set *)
+  added : (int, unit) Hashtbl.t;  (* delta: edges present but not in base *)
+  dels : (int, unit) Hashtbl.t;  (* delta: base edges currently absent *)
+  adds : int list array;  (* delta: added neighbors, per node *)
+  deg : int array;  (* maintained degrees *)
   mutable m : int;
   mutable version : int;  (* bumped on every successful mutation *)
   mutable snap : (int * csr) option;  (* snapshot + the version it captured *)
@@ -9,53 +24,47 @@ type t = {
 
 type edge = int * int
 
-let create n =
-  if n < 0 then invalid_arg "Graph.create: negative size";
-  { adj = Array.init n (fun _ -> Hashtbl.create 4); m = 0; version = 0; snap = None }
+let create size =
+  if size < 0 then invalid_arg "Graph.create: negative size";
+  {
+    base = Csr_store.empty size;
+    added = Hashtbl.create 16;
+    dels = Hashtbl.create 16;
+    adds = Array.make size [];
+    deg = Array.make size 0;
+    m = 0;
+    version = 0;
+    snap = None;
+  }
 
-let n g = Array.length g.adj
+let n g = Csr_store.n g.base
 
 let m g = g.m
 
 let check_node g v =
   if v < 0 || v >= n g then invalid_arg "Graph: node out of range"
 
+(* Normalized edge key; n <= 10^7 keeps the product far below max_int. *)
+let key g u v = if u < v then (u * n g) + v else (v * n g) + u
+
 let mem_edge g u v =
   check_node g u;
   check_node g v;
-  Hashtbl.mem g.adj.(u) v
-
-let add_edge g u v =
-  check_node g u;
-  check_node g v;
-  if u = v || Hashtbl.mem g.adj.(u) v then false
-  else begin
-    Hashtbl.replace g.adj.(u) v ();
-    Hashtbl.replace g.adj.(v) u ();
-    g.m <- g.m + 1;
-    g.version <- g.version + 1;
-    true
-  end
-
-let remove_edge g u v =
-  check_node g u;
-  check_node g v;
-  if u <> v && Hashtbl.mem g.adj.(u) v then begin
-    Hashtbl.remove g.adj.(u) v;
-    Hashtbl.remove g.adj.(v) u;
-    g.m <- g.m - 1;
-    g.version <- g.version + 1;
-    true
-  end
-  else false
+  u <> v
+  &&
+  let k = key g u v in
+  Hashtbl.mem g.added k
+  || (Csr_store.mem g.base u v && not (Hashtbl.mem g.dels k))
 
 let degree g v =
   check_node g v;
-  Hashtbl.length g.adj.(v)
+  g.deg.(v)
 
 let iter_neighbors g v f =
   check_node g v;
-  Hashtbl.iter (fun u () -> f u) g.adj.(v)
+  if Hashtbl.length g.dels = 0 then Csr_store.iter_row g.base v f
+  else Csr_store.iter_row g.base v (fun u -> if not (Hashtbl.mem g.dels (key g u v)) then f u);
+  List.iter f g.adds.(v)
 
 let neighbors g v =
   let acc = ref [] in
@@ -64,11 +73,16 @@ let neighbors g v =
 
 let fold_neighbors g v f init =
   check_node g v;
-  Hashtbl.fold (fun u () acc -> f acc u) g.adj.(v) init
+  let acc = ref init in
+  iter_neighbors g v (fun u -> acc := f !acc u);
+  !acc
 
 let iter_edges g f =
+  let no_dels = Hashtbl.length g.dels = 0 in
   for u = 0 to n g - 1 do
-    Hashtbl.iter (fun v () -> if u < v then f u v) g.adj.(u)
+    Csr_store.iter_row g.base u (fun v ->
+        if u < v && (no_dels || not (Hashtbl.mem g.dels (key g u v))) then f u v);
+    List.iter (fun v -> if u < v then f u v) g.adds.(u)
   done
 
 let edges g =
@@ -84,14 +98,100 @@ let edge_array g =
       incr i);
   out
 
-(* the snapshot is immutable and version-tagged, so sharing it is safe:
-   either copy mutating invalidates only its own tag *)
-let copy g = { adj = Array.map Hashtbl.copy g.adj; m = g.m; version = g.version; snap = g.snap }
+(* CSR construction lives here (not in [Csr]) so that the cache slot inside
+   [t] can name the snapshot type without a dependency cycle; [Csr] re-exports
+   the record and the entry points. *)
+let to_csr g = Csr_store.of_stream ~m_hint:g.m ~n:(n g) (fun emit -> iter_edges g emit)
+
+(* Replay the delta into a fresh base.  Does not bump [version]: the edge set
+   is unchanged, only its physical layout. *)
+let commit g =
+  if Hashtbl.length g.added > 0 || Hashtbl.length g.dels > 0 then begin
+    g.base <- to_csr g;
+    Hashtbl.reset g.added;
+    Hashtbl.reset g.dels;
+    Array.fill g.adds 0 (Array.length g.adds) []
+  end
+
+(* Commit once the delta reaches half the base: replay cost is O(m), and the
+   base grows geometrically, so total replay work over any op sequence is
+   O(total edges) amortized. *)
+let maybe_commit g =
+  let d = Hashtbl.length g.added + Hashtbl.length g.dels in
+  if d >= 64 && 2 * d >= Csr_store.m g.base then commit g
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  if u = v || mem_edge g u v then false
+  else begin
+    let k = key g u v in
+    if Hashtbl.mem g.dels k then Hashtbl.remove g.dels k (* resurrected base edge *)
+    else begin
+      Hashtbl.replace g.added k ();
+      g.adds.(u) <- v :: g.adds.(u);
+      g.adds.(v) <- u :: g.adds.(v)
+    end;
+    g.deg.(u) <- g.deg.(u) + 1;
+    g.deg.(v) <- g.deg.(v) + 1;
+    g.m <- g.m + 1;
+    g.version <- g.version + 1;
+    maybe_commit g;
+    true
+  end
+
+let remove_edge g u v =
+  check_node g u;
+  check_node g v;
+  if u <> v && mem_edge g u v then begin
+    let k = key g u v in
+    if Hashtbl.mem g.added k then begin
+      Hashtbl.remove g.added k;
+      g.adds.(u) <- List.filter (fun x -> x <> v) g.adds.(u);
+      g.adds.(v) <- List.filter (fun x -> x <> u) g.adds.(v)
+    end
+    else Hashtbl.replace g.dels k ();
+    g.deg.(u) <- g.deg.(u) - 1;
+    g.deg.(v) <- g.deg.(v) - 1;
+    g.m <- g.m - 1;
+    g.version <- g.version + 1;
+    maybe_commit g;
+    true
+  end
+  else false
+
+(* the base and snapshot are immutable and version-tagged, so sharing them is
+   safe: either copy mutating stops sharing the delta it changes *)
+let copy g =
+  {
+    base = g.base;
+    added = Hashtbl.copy g.added;
+    dels = Hashtbl.copy g.dels;
+    adds = Array.copy g.adds;
+    deg = Array.copy g.deg;
+    m = g.m;
+    version = g.version;
+    snap = g.snap;
+  }
 
 let of_edges size es =
   let g = create size in
   List.iter (fun (u, v) -> ignore (add_edge g u v)) es;
   g
+
+let of_csr c =
+  let size = Csr_store.n c in
+  let deg = Array.init size (fun v -> Csr_store.degree c v) in
+  {
+    base = c;
+    added = Hashtbl.create 16;
+    dels = Hashtbl.create 16;
+    adds = Array.make size [];
+    deg;
+    m = Csr_store.m c;
+    version = 0;
+    snap = Some (0, c);
+  }
 
 let empty_like g = create (n g)
 
@@ -136,33 +236,11 @@ let survivor g ~alive =
 let common_neighbors g u v =
   check_node g u;
   check_node g v;
-  (* Scan the smaller adjacency set and probe the larger one. *)
+  (* Scan the smaller neighborhood and probe the larger one. *)
   let u, v = if degree g u <= degree g v then (u, v) else (v, u) in
-  fold_neighbors g u (fun acc x -> if Hashtbl.mem g.adj.(v) x then x :: acc else acc) []
+  fold_neighbors g u (fun acc x -> if mem_edge g v x then x :: acc else acc) []
 
 let version g = g.version
-
-(* CSR construction lives here (not in [Csr]) so that the cache slot inside
-   [t] can name the snapshot type without a dependency cycle; [Csr] re-exports
-   the record and both entry points. *)
-let to_csr g =
-  let size = n g in
-  let xadj = Array.make (size + 1) 0 in
-  for v = 0 to size - 1 do
-    xadj.(v + 1) <- xadj.(v) + degree g v
-  done;
-  let adjncy = Array.make xadj.(size) 0 in
-  for v = 0 to size - 1 do
-    let pos = ref xadj.(v) in
-    iter_neighbors g v (fun u ->
-        adjncy.(!pos) <- u;
-        incr pos);
-    let lo = xadj.(v) and hi = xadj.(v + 1) in
-    let slice = Array.sub adjncy lo (hi - lo) in
-    Array.sort compare slice;
-    Array.blit slice 0 adjncy lo (hi - lo)
-  done;
-  { n = size; xadj; adjncy }
 
 let m_snapshot_hits = Metrics.counter "csr.snapshot_hits"
 let m_snapshot_builds = Metrics.counter "csr.snapshot_builds"
@@ -174,9 +252,9 @@ let snapshot g =
       c
   | _ ->
       Metrics.incr m_snapshot_builds;
-      let c = to_csr g in
-      g.snap <- Some (g.version, c);
-      c
+      commit g;
+      g.snap <- Some (g.version, g.base);
+      g.base
 
 let pp fmt g =
   Format.fprintf fmt "graph(n=%d, m=%d)" (n g) (m g);

@@ -1,10 +1,13 @@
 (** Simple undirected graphs on nodes [0 .. n-1].
 
     This is the central mutable representation used while *constructing*
-    graphs and spanners: adjacency is a hash set per node, so edge insertion,
-    deletion and membership are expected O(1).  Algorithms that only traverse
-    a fixed graph should take a {!Csr.t} snapshot (see {!Csr.of_graph}) for
-    cache-friendly iteration.
+    graphs and spanners.  Storage is a delta log over an immutable
+    Bigarray-backed CSR base ({!Csr_store.t}): reads scan the flat base rows
+    plus a small per-node delta, and mutations are O(1) amortized — once the
+    delta reaches half the base size it is replayed into a fresh base by an
+    O(m) counting-sort rebuild.  Algorithms that only traverse a fixed graph
+    should take a {!Csr.t} snapshot (see {!snapshot}) for zero-overhead
+    iteration.
 
     Edges are unordered pairs of distinct nodes; self-loops and parallel edges
     are rejected/ignored.  In printed form and in edge lists, an edge is
@@ -12,10 +15,10 @@
 
 type t
 
-type csr = private {
+type csr = Csr_store.t = private {
   n : int;  (** number of nodes *)
-  xadj : int array;  (** offsets: neighbors of [v] live at [xadj.(v) .. xadj.(v+1) - 1] *)
-  adjncy : int array;  (** concatenated neighbor lists, sorted ascending per node *)
+  xadj : Csr_store.ba;  (** offsets: neighbors of [v] live at [xadj.{v} .. xadj.{v+1} - 1] *)
+  adjncy : Csr_store.ba;  (** concatenated neighbor lists, sorted ascending per node *)
 }
 (** Immutable compressed-sparse-row snapshot of a graph.  {!Csr.t} is an alias
     of this type; the traversal helpers live there. *)
@@ -70,6 +73,13 @@ val of_edges : int -> (int * int) list -> t
 (** [of_edges n es] builds a graph on [n] nodes from an edge list (duplicates
     and self-loops ignored). *)
 
+val of_csr : csr -> t
+(** [of_csr c] adopts a CSR store as the committed base of a new graph in
+    O(n): no edges are copied, the delta starts empty, and the store is also
+    installed as the cached {!snapshot}.  This is the bridge from streaming
+    builders ({!Csr_store.of_stream}, {!Generators.expander}) into the mutable
+    API. *)
+
 val empty_like : t -> t
 (** Graph with the same node set and no edges. *)
 
@@ -113,9 +123,12 @@ val to_csr : t -> csr
 val snapshot : t -> csr
 (** The memoized CSR snapshot: rebuilt only when {!version} has moved since
     the previous call, otherwise the cached (physically equal) snapshot is
-    returned.  Cache behavior is observable through the [csr.snapshot_hits] /
-    [csr.snapshot_builds] metrics.  The result is immutable and remains valid
-    after further mutations (they simply stop sharing). *)
+    returned.  Taking a snapshot commits any outstanding delta into the base,
+    so the returned store doubles as the graph's primary storage until the
+    next mutation.  Cache behavior is observable through the
+    [csr.snapshot_hits] / [csr.snapshot_builds] metrics.  The result is
+    immutable and remains valid after further mutations (they simply stop
+    sharing). *)
 
 val pp : Format.formatter -> t -> unit
 (** Debug printer: node/edge counts and adjacency of small graphs. *)

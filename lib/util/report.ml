@@ -63,38 +63,13 @@ let write_into dir ext render t =
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render t))
   end
 
-let maybe_write envs ext render t =
-  (* first set variable wins: [envs] lists the preferred name first, then
-     deprecated aliases kept for one release *)
-  match List.find_map Sys.getenv_opt envs with
-  | None -> ()
-  | Some dir -> write_into dir ext render t
+let maybe_write env ext render t =
+  match Sys.getenv_opt env with None -> () | Some dir -> write_into dir ext render t
 
-let maybe_write_csv t = maybe_write [ "DCS_BENCH_CSV" ] ".csv" csv t
+let maybe_write_csv t = maybe_write "DCS_BENCH_CSV" ".csv" csv t
 
-(* DCS_BENCH_DIR is the one export-directory convention (see EXPERIMENTS.md);
-   DCS_BENCH_JSON is its deprecated pre-unification spelling. *)
-
-(* DOMAIN-SAFE: write-once warn latch; a racing duplicate warning is benign *)
-let json_alias_warned = ref false
-
-let warn_json_alias () =
-  (* warn (once) only when the deprecated spelling is doing the work *)
-  if (not !json_alias_warned) && Sys.getenv_opt "DCS_BENCH_DIR" = None then begin
-    json_alias_warned := true;
-    Log.warn "deprecated.env"
-      ~fields:[ ("alias", "DCS_BENCH_JSON"); ("replacement", "DCS_BENCH_DIR") ];
-    if not (Log.enabled Log.Warn) then
-      Printf.eprintf
-        "note: DCS_BENCH_JSON is deprecated and will be removed next release; use \
-         DCS_BENCH_DIR\n%!"
-  end
-
-let maybe_write_json t =
-  (match Sys.getenv_opt "DCS_BENCH_JSON" with
-  | None | Some "" -> ()
-  | Some _ -> warn_json_alias ());
-  maybe_write [ "DCS_BENCH_DIR"; "DCS_BENCH_JSON" ] ".json" to_json t
+(* DCS_BENCH_DIR is the one export-directory convention (see EXPERIMENTS.md). *)
+let maybe_write_json t = maybe_write "DCS_BENCH_DIR" ".json" to_json t
 
 let print t =
   maybe_write_csv t;

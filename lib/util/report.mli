@@ -19,7 +19,7 @@ val add_note : t -> string -> unit
 
 val print : t -> unit
 (** Render to stdout with column alignment and a rule under the header.
-    When the [DCS_BENCH_CSV] (resp. [DCS_BENCH_JSON]) environment variable
+    When the [DCS_BENCH_CSV] (resp. [DCS_BENCH_DIR]) environment variable
     names a directory, also write the table there as [<slug-of-title>.csv]
     (see {!csv}) resp. [.json] (see {!to_json}). *)
 

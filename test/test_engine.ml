@@ -1,0 +1,324 @@
+(* Graph-engine tests: the Bigarray CSR store (Csr_store), the delta-log
+   mutation path behind Graph.snapshot, the streaming expander generator,
+   and the Elkin–Neiman near-linear-time spanner.
+
+   The central property is the oracle: a CSR built from an edge stream must
+   be element-for-element identical to a naive per-node sorted-list model,
+   for any interleaving of add_edge / remove_edge / isolate — both through
+   the pure [Csr.of_graph] path and the delta-replaying [Csr.snapshot]
+   path. *)
+
+let check = Alcotest.check
+
+(* ---- naive reference model: per-node sorted neighbor lists ---- *)
+
+type model = { mn : int; tbl : (int * int, unit) Hashtbl.t }
+
+let model_create n = { mn = n; tbl = Hashtbl.create 64 }
+
+let model_add md u v =
+  if u <> v then Hashtbl.replace md.tbl (min u v, max u v) ()
+
+let model_remove md u v = Hashtbl.remove md.tbl (min u v, max u v)
+
+let model_isolate md v =
+  Hashtbl.iter
+    (fun (a, b) () -> if a = v || b = v then Hashtbl.remove md.tbl (a, b))
+    (Hashtbl.copy md.tbl)
+
+(* expected flat arrays, exactly the canonical CSR layout *)
+let model_arrays md =
+  let adj = Array.make (max 1 md.mn) [] in
+  Hashtbl.iter
+    (fun (a, b) () ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    md.tbl;
+  let xadj = Array.make (md.mn + 1) 0 in
+  for v = 0 to md.mn - 1 do
+    adj.(v) <- List.sort compare adj.(v);
+    xadj.(v + 1) <- xadj.(v) + List.length adj.(v)
+  done;
+  let adjncy = Array.make xadj.(md.mn) 0 in
+  for v = 0 to md.mn - 1 do
+    List.iteri (fun i w -> adjncy.(xadj.(v) + i) <- w) adj.(v)
+  done;
+  (xadj, adjncy)
+
+(* element-for-element comparison of a Csr.t against the model arrays *)
+let csr_matches_model md (c : Csr.t) =
+  let xadj, adjncy = model_arrays md in
+  Csr.n c = md.mn
+  && Bigarray.Array1.dim c.Csr.xadj = Array.length xadj
+  && Bigarray.Array1.dim c.Csr.adjncy = Array.length adjncy
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if c.Csr.xadj.{i} <> x then ok := false) xadj;
+  Array.iteri (fun i x -> if c.Csr.adjncy.{i} <> x then ok := false) adjncy;
+  !ok
+
+(* ---- Csr_store unit behavior ---- *)
+
+let test_store_basic () =
+  let c =
+    Csr_store.of_stream ~n:5 (fun emit ->
+        emit 0 1;
+        emit 1 0;
+        (* duplicate, reversed orientation *)
+        emit 3 3;
+        (* self-loop: dropped *)
+        emit 4 2;
+        emit 0 1;
+        (* duplicate, same orientation *)
+        emit 1 2)
+  in
+  check Alcotest.int "n" 5 (Csr_store.n c);
+  check Alcotest.int "m" 3 (Csr_store.m c);
+  check Alcotest.int "arcs" 6 (Csr_store.arcs c);
+  check Alcotest.int "degree 1" 2 (Csr_store.degree c 1);
+  check Alcotest.int "degree 3" 0 (Csr_store.degree c 3);
+  check Alcotest.bool "mem 2 4" true (Csr_store.mem c 2 4);
+  check Alcotest.bool "mem 0 2" false (Csr_store.mem c 0 2);
+  let row = ref [] in
+  Csr_store.iter_row c 2 (fun w -> row := w :: !row);
+  check Alcotest.(list int) "row 2 sorted" [ 1; 4 ] (List.rev !row);
+  let edges = ref [] in
+  Csr_store.iter_edges c (fun u v -> edges := (u, v) :: !edges);
+  check
+    Alcotest.(list (pair int int))
+    "edges ascending" [ (0, 1); (1, 2); (2, 4) ] (List.rev !edges)
+
+let test_store_empty_and_invalid () =
+  let e = Csr_store.empty 4 in
+  check Alcotest.int "empty m" 0 (Csr_store.m e);
+  check Alcotest.int "empty degree" 0 (Csr_store.degree e 3);
+  let expects_invalid name f =
+    check Alcotest.bool name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expects_invalid "endpoint too large" (fun () ->
+      Csr_store.of_stream ~n:3 (fun emit -> emit 0 3));
+  expects_invalid "negative endpoint" (fun () ->
+      Csr_store.of_stream ~n:3 (fun emit -> emit (-1) 2));
+  expects_invalid "degree out of range" (fun () -> Csr_store.degree e 4)
+
+let test_store_canonical () =
+  (* same edge set, wildly different emit orders -> identical arrays *)
+  let edges = [ (0, 9); (3, 4); (1, 2); (5, 8); (2, 7); (0, 3) ] in
+  let build order =
+    Csr_store.of_stream ~n:10 (fun emit ->
+        List.iter (fun (u, v) -> emit u v) order)
+  in
+  let a = build edges in
+  let b =
+    build (List.rev_map (fun (u, v) -> (v, u)) edges @ [ (1, 2); (9, 0) ])
+  in
+  check Alcotest.bool "canonical xadj" true (a.Csr_store.xadj = b.Csr_store.xadj);
+  check Alcotest.bool "canonical adjncy" true
+    (a.Csr_store.adjncy = b.Csr_store.adjncy)
+
+(* ---- qcheck oracle: CSR = model under interleaved mutation ---- *)
+
+(* op stream encoded as (kind, a, b): 0 = add, 1 = remove, 2 = isolate *)
+let apply_ops n ops =
+  let g = Graph.create n in
+  let md = model_create n in
+  List.iter
+    (fun (kind, a, b) ->
+      let u = a mod n and v = b mod n in
+      match kind mod 3 with
+      | 0 ->
+          ignore (Graph.add_edge g u v);
+          model_add md u v
+      | 1 ->
+          ignore (Graph.remove_edge g u v);
+          model_remove md u v
+      | _ ->
+          ignore (Graph.isolate g u);
+          model_isolate md u)
+    ops;
+  (g, md)
+
+let prop_csr_matches_model =
+  QCheck.Test.make ~name:"CSR from mutation stream = sorted-list model"
+    ~count:120
+    QCheck.(
+      triple (int_range 1 40)
+        (small_list (triple small_nat small_nat small_nat))
+        small_nat)
+    (fun (n, ops, extra) ->
+      let ops = List.map (fun (k, a, b) -> (k, a, b)) ops in
+      let g, md = apply_ops n ops in
+      (* of_graph: pure O(m) rebuild; snapshot: delta-log commit + cache *)
+      let pure = Csr.of_graph g in
+      let snap = Csr.snapshot g in
+      let ok1 = csr_matches_model md pure && csr_matches_model md snap in
+      (* mutate again after the snapshot to exercise cache invalidation *)
+      let u = extra mod n in
+      ignore (Graph.add_edge g u ((u + 1) mod n));
+      model_add md u ((u + 1) mod n);
+      let ok2 = csr_matches_model md (Csr.snapshot g) in
+      ok1 && ok2)
+
+let prop_snapshot_accessors_match_graph =
+  QCheck.Test.make ~name:"snapshot m/degree/mem agree with Graph" ~count:80
+    QCheck.(
+      pair (int_range 1 30) (small_list (triple small_nat small_nat small_nat)))
+    (fun (n, ops) ->
+      let g, _ = apply_ops n ops in
+      let c = Csr.snapshot g in
+      Csr.m c = Graph.m g
+      && Seq.for_all
+           (fun v ->
+             Csr.degree c v = Graph.degree g v
+             && Seq.for_all
+                  (fun w -> Csr.mem_edge c v w = Graph.mem_edge g v w)
+                  (Seq.init n Fun.id))
+           (Seq.init n Fun.id))
+
+(* ---- expander generator ---- *)
+
+let test_expander_shape () =
+  let n = 600 and d = 8 in
+  let g = Generators.expander (Prng.create 42) n d in
+  check Alcotest.int "n" n (Graph.n g);
+  let c = Csr.snapshot g in
+  let dist = Bfs.distances c 0 in
+  Array.iteri
+    (fun v dv -> if dv < 0 then Alcotest.failf "node %d unreachable" v)
+    dist;
+  let dmin = ref max_int and dmax = ref 0 in
+  for v = 0 to n - 1 do
+    let dv = Graph.degree g v in
+    if dv < !dmin then dmin := dv;
+    if dv > !dmax then dmax := dv
+  done;
+  check Alcotest.bool "min degree >= 2" true (!dmin >= 2);
+  check Alcotest.bool "max degree <= d" true (!dmax <= d);
+  (* permutation collisions are a o(1) fraction: mean degree near d *)
+  check Alcotest.bool "mean degree > d - 2" true
+    (2 * Graph.m g > (d - 2) * n)
+
+let test_expander_deterministic () =
+  let build seed = Csr.snapshot (Generators.expander (Prng.create seed) 300 6) in
+  let a = build 7 and b = build 7 and c = build 8 in
+  check Alcotest.bool "same seed, same arrays" true
+    (a.Csr.xadj = b.Csr.xadj && a.Csr.adjncy = b.Csr.adjncy);
+  check Alcotest.bool "different seed differs" true
+    (c.Csr.adjncy <> a.Csr.adjncy)
+
+let test_expander_invalid () =
+  let expects_invalid name f =
+    check Alcotest.bool name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expects_invalid "n too small" (fun () ->
+      Generators.expander (Prng.create 1) 2 2);
+  expects_invalid "d too small" (fun () ->
+      Generators.expander (Prng.create 1) 10 1);
+  expects_invalid "d >= n" (fun () ->
+      Generators.expander (Prng.create 1) 10 10)
+
+(* ---- Elkin–Neiman spanner: certification + sparsity ---- *)
+
+(* k = 2: stretch bound 3, expected O(n^{3/2}) edges.  The sparsity check
+   uses a generous constant so it stays a property of the algorithm, not of
+   one seed. *)
+let en_bound n m = min m (int_of_float (4.0 *. (float_of_int n ** 1.5)) + n)
+
+let check_en_case name seed g =
+  let r = Elkin_neiman.build (Prng.create seed) g in
+  let h = r.Elkin_neiman.spanner in
+  check Alcotest.int (name ^ ": same node set") (Graph.n g) (Graph.n h);
+  Graph.iter_edges h (fun u v ->
+      if not (Graph.mem_edge g u v) then
+        Alcotest.failf "%s: spanner edge (%d,%d) not in g" name u v);
+  let s = Stretch.exact_bounded g h ~bound:3 in
+  check Alcotest.bool (name ^ ": stretch <= 3") true (s >= 1 && s <= 3);
+  check Alcotest.bool (name ^ ": sparsity") true
+    (Graph.m h <= en_bound (Graph.n g) (Graph.m g));
+  check Alcotest.int
+    (name ^ ": removed accounting")
+    (Graph.m g)
+    (Graph.m h - r.Elkin_neiman.repaired + r.Elkin_neiman.removed)
+
+let test_en_families () =
+  (* dense (where the keep rule actually bites), sparse, expander, random —
+     several seeds each *)
+  List.iter
+    (fun seed ->
+      check_en_case "complete" seed (Generators.complete 120);
+      check_en_case "two-cliques" seed (Generators.two_cliques_matching 80);
+      check_en_case "torus" seed (Generators.torus 12 12);
+      check_en_case "expander" seed
+        (Generators.expander (Prng.create (seed + 100)) 1500 8);
+      check_en_case "erdos-renyi" seed
+        (Generators.erdos_renyi (Prng.create (seed + 200)) 250 0.15))
+    [ 1; 2; 3 ]
+
+let test_en_dense_sparsifies () =
+  (* on K_n the exponential race must remove a constant fraction *)
+  let g = Generators.complete 200 in
+  let r = Elkin_neiman.build (Prng.create 11) g in
+  check Alcotest.bool "removes at least a third of K_200" true
+    (3 * Graph.m r.Elkin_neiman.spanner < 2 * Graph.m g)
+
+let test_en_deterministic () =
+  let g = Generators.expander (Prng.create 5) 800 8 in
+  let build seed =
+    Csr.snapshot (Elkin_neiman.build (Prng.create seed) g).Elkin_neiman.spanner
+  in
+  let a = build 9 and b = build 9 in
+  check Alcotest.bool "same seed, same spanner" true
+    (a.Csr.xadj = b.Csr.xadj && a.Csr.adjncy = b.Csr.adjncy)
+
+let test_en_invalid () =
+  check Alcotest.bool "k = 0 rejected" true
+    (try
+       ignore (Elkin_neiman.build ~k:0 (Prng.create 1) (Generators.cycle 5));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_en_certified =
+  QCheck.Test.make ~name:"Elkin–Neiman stretch <= 3 on random graphs"
+    ~count:40
+    QCheck.(triple small_int (int_range 2 60) (int_range 0 100))
+    (fun (seed, n, p100) ->
+      let g =
+        Generators.erdos_renyi (Prng.create seed) n
+          (float_of_int p100 /. 100.0)
+      in
+      let r = Elkin_neiman.build (Prng.create (seed + 1)) g in
+      let s = Stretch.exact_bounded g r.Elkin_neiman.spanner ~bound:3 in
+      s <= 3 && Graph.m r.Elkin_neiman.spanner <= Graph.m g)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "csr-store",
+        Alcotest.test_case "basic" `Quick test_store_basic
+        :: Alcotest.test_case "empty/invalid" `Quick
+             test_store_empty_and_invalid
+        :: Alcotest.test_case "canonical" `Quick test_store_canonical
+        :: q [ prop_csr_matches_model; prop_snapshot_accessors_match_graph ]
+      );
+      ( "expander",
+        [
+          Alcotest.test_case "shape" `Quick test_expander_shape;
+          Alcotest.test_case "deterministic" `Quick test_expander_deterministic;
+          Alcotest.test_case "invalid" `Quick test_expander_invalid;
+        ] );
+      ( "elkin-neiman",
+        Alcotest.test_case "families x seeds" `Quick test_en_families
+        :: Alcotest.test_case "dense sparsifies" `Quick test_en_dense_sparsifies
+        :: Alcotest.test_case "deterministic" `Quick test_en_deterministic
+        :: Alcotest.test_case "invalid" `Quick test_en_invalid
+        :: q [ prop_en_certified ] );
+    ]

@@ -22,10 +22,10 @@ let test_graph_golden () =
 let test_algorithm1_golden () =
   let g = base_graph () in
   let t = Regular_dc.build (Prng.create 2) g in
-  check Alcotest.int "m(H)" 253 (Graph.m t.Regular_dc.spanner);
+  check Alcotest.int "m(H)" 226 (Graph.m t.Regular_dc.spanner);
   check Alcotest.int "m(G')" 141 (Graph.m t.Regular_dc.sampled);
   check Alcotest.int "reinserted" 0 t.Regular_dc.reinserted;
-  check Alcotest.int "repaired" 112 t.Regular_dc.repaired
+  check Alcotest.int "repaired" 85 t.Regular_dc.repaired
 
 let test_theorem2_golden () =
   let g = base_graph () in
@@ -38,12 +38,12 @@ let test_matching_congestion_golden () =
   let t = Regular_dc.build (Prng.create 2) g in
   let dc = Regular_dc.to_dc t g in
   let r = Dc.measure_matching dc (Prng.create 4) ~trials:3 in
-  check (Alcotest.float 1e-6) "mean congestion" 3.666667 r.Dc.mean_congestion;
+  check (Alcotest.float 1e-6) "mean congestion" 4.000000 r.Dc.mean_congestion;
   check Alcotest.int "max congestion" 4 r.Dc.max_congestion
 
 let test_classic_golden () =
   let g = base_graph () in
-  check Alcotest.int "baswana-sen size" 329 (Graph.m (Classic.baswana_sen_3 (Prng.create 5) g));
+  check Alcotest.int "baswana-sen size" 326 (Graph.m (Classic.baswana_sen_3 (Prng.create 5) g));
   check Alcotest.int "greedy size" 121 (Graph.m (Classic.greedy g ~k:2))
 
 let test_distributed_golden () =
