@@ -4,7 +4,7 @@
 
    Usage:  dune exec bench/main.exe [-- block ... [flags]]
    Blocks: table1 figures lemmas distributed ablations extensions fault soak
-   engine timing kernels obs; all (default all).
+   engine weighted timing kernels obs; all (default all).
    Flags:  --write-baseline FILE   combined stable-metric baseline of this run
            --compare FILE          judge this run against a baseline; exit 1 on
                                    regression, 2 on a malformed/unmatched baseline
@@ -1688,6 +1688,89 @@ let run_engine br =
   Report.print table
 
 (* ------------------------------------------------------------------ *)
+(* Weighted: integer edge weights end to end — weighted generators,    *)
+(* the weight-aware Baswana–Sen entry, Dijkstra certification          *)
+(* (ROADMAP weighted-graphs item)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_weighted br =
+  Report.section "WEIGHTED (integer edge weights: generators, Baswana-Sen, Dijkstra certification)";
+  Printf.printf
+    "weighted families -> baswana-sen-weighted (k = 2) -> exact weighted stretch via\n";
+  Printf.printf "Dijkstra sweeps; certificate bound is (2k-1) = 3 per edge weight\n\n";
+  let w_max = 8 in
+  let table =
+    Report.create ~title:(Printf.sprintf "weighted spanner pipeline (w_max = %d)" w_max)
+      ~columns:[ "case"; "n"; "m(G)"; "m(H)"; "kept %"; "stretch"; "certified"; "build ms"; "certify ms" ]
+  in
+  let ctor = Construction.find_exn "baswana-sen-weighted" in
+  let cases =
+    [
+      (* degree ~3 sqrt(n): above the n^{3/2} crossover, so the clustering
+         actually sparsifies instead of keeping every edge *)
+      ( "expander",
+        let n = pick ~quick:300 ~standard:600 ~full:1200 in
+        let d = 3 * int_of_float (sqrt (float_of_int n)) in
+        Generators.weighted_expander (Prng.create 7001) n d ~w_max );
+      ( "torus",
+        let side = pick ~quick:18 ~standard:28 ~full:40 in
+        Generators.weighted_torus (Prng.create 7002) side side ~w_max );
+    ]
+  in
+  List.iter
+    (fun (case, g) ->
+      let t0 = Obs.now_us () in
+      let dc = Construction.build ctor (Prng.create 7003) g in
+      let t1 = Obs.now_us () in
+      let h = dc.Dc.spanner in
+      let stretch = Stretch.exact g h in
+      let t2 = Obs.now_us () in
+      let mg = Graph.m g and mh = Graph.m h in
+      let certified = stretch <> max_int && stretch <= 3 in
+      let key name = Printf.sprintf "weighted.%s.%s" case name in
+      (* seeded, integer-weight, integer-distance pipeline: exact across
+         platforms, so all four rows are baseline-eligible *)
+      Bench_report.add br ~units:"edges" (key "m_graph") (float_of_int mg);
+      Bench_report.add br ~units:"edges" (key "m_spanner") (float_of_int mh);
+      Bench_report.add br ~units:"ratio" (key "stretch")
+        (if stretch = max_int then -1.0 else float_of_int stretch);
+      Bench_report.add br ~units:"bool" ~higher_is_better:true (key "certified")
+        (if certified then 1.0 else 0.0);
+      Bench_report.add br ~stable:false ~units:"ms" (key "build_ms") ((t1 -. t0) /. 1e3);
+      Bench_report.add br ~stable:false ~units:"ms" (key "certify_ms") ((t2 -. t1) /. 1e3);
+      Report.add_row table
+        [
+          case;
+          string_of_int (Graph.n g);
+          string_of_int mg;
+          string_of_int mh;
+          Printf.sprintf "%.1f" (100.0 *. float_of_int mh /. float_of_int (if mg = 0 then 1 else mg));
+          (if stretch = max_int then "inf" else string_of_int stretch);
+          string_of_bool certified;
+          Printf.sprintf "%.2f" ((t1 -. t0) /. 1e3);
+          Printf.sprintf "%.2f" ((t2 -. t1) /. 1e3);
+        ])
+    cases;
+  (* cross-kernel check: on a unit-weight graph the Dijkstra arena must agree
+     with BFS source by source — the dispatch rule's semantic anchor *)
+  let n = pick ~quick:400 ~standard:800 ~full:1600 in
+  let g = Generators.expander (Prng.create 7004) n 8 in
+  let gc = Csr.snapshot g in
+  let identical = ref true in
+  for s = 0 to min (n - 1) 63 do
+    if Dijkstra.distances gc s <> Bfs.distances gc s then identical := false
+  done;
+  Bench_report.add br ~units:"bool" ~higher_is_better:true "weighted.unit.dijkstra_identical"
+    (if !identical then 1.0 else 0.0);
+  Report.add_note table
+    (Printf.sprintf "unit-weight cross-check (Dijkstra == BFS on %d sources): %s"
+       (min n 64)
+       (if !identical then "identical" else "** MISMATCH **"));
+  Report.add_note table "stretch counts weight: d_H(u,v) <= 3*w(u,v) for every removed edge;";
+  Report.add_note table "unit-weight graphs never enter this path (they keep the MS-BFS kernel).";
+  Report.print table
+
+(* ------------------------------------------------------------------ *)
 
 let all_blocks =
   [
@@ -1700,6 +1783,7 @@ let all_blocks =
     "fault";
     "soak";
     "engine";
+    "weighted";
     "timing";
     "kernels";
     "obs";
@@ -1750,6 +1834,7 @@ let block_runners =
     ("fault", run_fault);
     ("soak", run_soak);
     ("engine", run_engine);
+    ("weighted", run_weighted);
     ("timing", run_timing);
     ("kernels", run_kernels);
     ("obs", run_obs);
@@ -1791,7 +1876,7 @@ let () =
       | None ->
           Printf.printf
             "unknown block %S (use \
-             table1|figures|lemmas|distributed|ablations|extensions|fault|soak|engine|timing|kernels|obs)\n"
+             table1|figures|lemmas|distributed|ablations|extensions|fault|soak|engine|weighted|timing|kernels|obs)\n"
             block
       | Some run ->
           let br = Bench_report.create ~block ~scale:scale_name in

@@ -107,37 +107,46 @@ let catch_parse f =
 
 (* Unknown names return [Error] (surfaced through [Term.term_result'] as a
    proper error message + usage), never an uncaught exception. *)
-let make_graph ?input ~family ~n ~degree ~p ~seed () =
-  match input with
-  | Some path -> catch_parse (fun () -> Graph_io.read path)
-  | None -> (
-      let rng = Prng.create seed in
-      match family with
-      | "regular" ->
-          let d = if n * degree mod 2 = 1 then degree + 1 else degree in
-          Ok (Generators.random_regular rng n d)
-      | "margulis" ->
-          let m = int_of_float (ceil (sqrt (float_of_int n))) in
-          Ok (Generators.margulis m)
-      | "torus" ->
-          let side = int_of_float (ceil (sqrt (float_of_int n))) in
-          Ok (Generators.torus side side)
-      | "hypercube" ->
-          let d = int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
-          Ok (Generators.hypercube d)
-      | "erdos" -> Ok (Generators.erdos_renyi rng n p)
-      | "expander" ->
-          (* streaming O(n + m) build — the family that scales to 10^6 nodes *)
-          Ok (Generators.expander rng (max 3 n) (max 2 (min degree (n - 1))))
-      | "complete" -> Ok (Generators.complete n)
-      | "two-cliques" -> Ok (Generators.two_cliques_matching (if n mod 2 = 1 then n + 1 else n))
-      | "ring" -> Ok (Generators.ring_of_cliques (max 2 (n / 20)) 20)
-      | other ->
-          Error
-            (Printf.sprintf
-               "unknown graph family %S (expected regular | margulis | torus | hypercube | \
-                erdos | expander | complete | two-cliques | ring)"
-               other))
+let make_graph ?input ?(w_max = 0) ~family ~n ~degree ~p ~seed () =
+  if w_max < 0 then Error "w-max must be >= 0"
+  else
+    match input with
+    | Some path -> catch_parse (fun () -> Graph_io.read path)
+    | None -> (
+        let rng = Prng.create seed in
+        (* w_max > 0 turns any family weighted: torus and expander have native
+           weighted generators, everything else redraws weights on its edge set *)
+        let reweight g = if w_max > 0 then Generators.randomize_weights rng g ~w_max else g in
+        match family with
+        | "regular" ->
+            let d = if n * degree mod 2 = 1 then degree + 1 else degree in
+            Ok (reweight (Generators.random_regular rng n d))
+        | "margulis" ->
+            let m = int_of_float (ceil (sqrt (float_of_int n))) in
+            Ok (reweight (Generators.margulis m))
+        | "torus" ->
+            let side = int_of_float (ceil (sqrt (float_of_int n))) in
+            if w_max > 0 then Ok (Generators.weighted_torus rng side side ~w_max)
+            else Ok (Generators.torus side side)
+        | "hypercube" ->
+            let d = int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
+            Ok (reweight (Generators.hypercube d))
+        | "erdos" -> Ok (reweight (Generators.erdos_renyi rng n p))
+        | "expander" ->
+            (* streaming O(n + m) build — the family that scales to 10^6 nodes *)
+            let nn = max 3 n and d = max 2 (min degree (n - 1)) in
+            if w_max > 0 then Ok (Generators.weighted_expander rng nn d ~w_max)
+            else Ok (Generators.expander rng nn d)
+        | "complete" -> Ok (reweight (Generators.complete n))
+        | "two-cliques" ->
+            Ok (reweight (Generators.two_cliques_matching (if n mod 2 = 1 then n + 1 else n)))
+        | "ring" -> Ok (reweight (Generators.ring_of_cliques (max 2 (n / 20)) 20))
+        | other ->
+            Error
+              (Printf.sprintf
+                 "unknown graph family %S (expected regular | margulis | torus | hypercube | \
+                  erdos | expander | complete | two-cliques | ring)"
+                 other))
 
 let family_arg =
   let doc =
@@ -155,6 +164,14 @@ let p_arg =
   Arg.(value & opt float 0.1 & info [ "prob"; "p" ] ~docv:"P" ~doc:"Edge probability (erdos family).")
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let w_max_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "w-max" ] ~docv:"W"
+        ~doc:
+          "Draw integer edge weights uniformly from [1, $(docv)] (0 = unweighted).  Distances \
+           and stretch bounds then count weight, not hops.")
 
 let trials_arg =
   Arg.(value & opt int 5 & info [ "trials"; "t" ] ~docv:"T" ~doc:"Matching trials to measure.")
@@ -175,14 +192,19 @@ let output_arg =
 (* ---- graph ---- *)
 
 let graph_cmd =
-  let run () family n degree p seed input output =
-    let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+  let run () family n degree p seed w_max input output =
+    let* g = make_graph ?input ~w_max ~family ~n ~degree ~p ~seed () in
     (match output with None -> () | Some path -> Graph_io.write g path);
     let c = Csr.snapshot g in
     let rng = Prng.create (seed + 1) in
     Printf.printf "family:      %s\n" family;
     Printf.printf "nodes:       %d\n" (Graph.n g);
     Printf.printf "edges:       %d\n" (Graph.m g);
+    if Graph.is_weighted g then begin
+      let wmax = ref 1 in
+      Graph.iter_edges_w g (fun _ _ w -> if w > !wmax then wmax := w);
+      Printf.printf "weights:     positive integers, max %d\n" !wmax
+    end;
     Printf.printf "degree:      min %d, max %d%s\n" (Graph.min_degree g) (Graph.max_degree g)
       (if Graph.is_regular g then " (regular)" else "");
     Printf.printf "connected:   %b (%d components)\n" (Connectivity.is_connected g)
@@ -197,8 +219,8 @@ let graph_cmd =
   let term =
     Term.term_result' ~usage:true
       Term.(
-        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ input_arg
-        $ output_arg)
+        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ w_max_arg
+        $ input_arg $ output_arg)
   in
   Cmd.v (Cmd.info "graph" ~doc:"Generate a graph family and print its statistics.") term
 
@@ -217,8 +239,8 @@ let general_arg =
   Arg.(value & flag & info [ "general" ] ~doc:"Also measure a permutation routing problem.")
 
 let spanner_cmd =
-  let run () family n degree p seed algorithm trials general input output =
-    let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+  let run () family n degree p seed w_max algorithm trials general input output =
+    let* g = make_graph ?input ~w_max ~family ~n ~degree ~p ~seed () in
     let* ctor = Construction.find algorithm in
     let rng = Prng.create (seed + 1) in
     let dc = Construction.build ctor rng g in
@@ -251,8 +273,8 @@ let spanner_cmd =
   let term =
     Term.term_result' ~usage:true
       Term.(
-        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg
-        $ trials_arg $ general_arg $ input_arg $ output_arg)
+        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ w_max_arg
+        $ algorithm_arg $ trials_arg $ general_arg $ input_arg $ output_arg)
   in
   Cmd.v (Cmd.info "spanner" ~doc:"Build a spanner and measure both stretches.") term
 
@@ -345,8 +367,8 @@ let check_cmd =
       & info [ "beta" ] ~docv:"B"
           ~doc:"Congestion stretch bound (default: the Theorem 3 envelope 12(1+2sqrt(D))log n).")
   in
-  let run () family n degree p seed algorithm trials alpha beta input =
-    let* g = make_graph ?input ~family ~n ~degree ~p ~seed () in
+  let run () family n degree p seed w_max algorithm trials alpha beta input =
+    let* g = make_graph ?input ~w_max ~family ~n ~degree ~p ~seed () in
     let* ctor = Construction.find algorithm in
     let rng = Prng.create (seed + 1) in
     let dc = Construction.build ctor rng g in
@@ -375,8 +397,8 @@ let check_cmd =
   let term =
     Term.term_result' ~usage:true
       Term.(
-        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ algorithm_arg
-        $ trials_arg $ alpha_arg $ beta_arg $ input_arg)
+        const run $ obs_term $ family_arg $ n_arg $ degree_arg $ p_arg $ seed_arg $ w_max_arg
+        $ algorithm_arg $ trials_arg $ alpha_arg $ beta_arg $ input_arg)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Empirically verify the (alpha, beta)-DC property of a construction.")

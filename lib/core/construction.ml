@@ -52,6 +52,11 @@ let all =
     entry ~name:"baswana-sen"
       ~reference:"baseline [BS07] (distance-only)" ~premise:Premise.Any ~alpha:3.0
       ~edge_exponent:1.5 Dc_spanner.Baswana_sen;
+    entry ~name:"baswana-sen-weighted" ~aliases:[ "bsw" ]
+      ~reference:"baseline [BS07] (weighted, distance-only)" ~premise:Premise.Weighted ~alpha:3.0
+      ~edge_exponent:1.5
+      ~params:[ ("k", "2") ]
+      Dc_spanner.Baswana_sen_weighted;
     entry ~name:"elkin-neiman" ~aliases:[ "en" ]
       ~reference:"baseline [EN17] (distance-only, O(m) expected time)" ~premise:Premise.Any
       ~alpha:3.0 ~edge_exponent:1.5

@@ -3,6 +3,7 @@ type algorithm =
   | Algorithm1
   | Greedy of int
   | Baswana_sen
+  | Baswana_sen_weighted
   | Elkin_neiman
   | Spectral_sparsify
   | Bounded_degree
@@ -14,6 +15,7 @@ let algorithm_name = function
   | Algorithm1 -> "algorithm1"
   | Greedy k -> Printf.sprintf "greedy-%d" ((2 * k) - 1)
   | Baswana_sen -> "baswana-sen"
+  | Baswana_sen_weighted -> "baswana-sen-weighted"
   | Elkin_neiman -> "elkin-neiman"
   | Spectral_sparsify -> "spectral[16]"
   | Bounded_degree -> "bounded-deg[5]"
@@ -34,6 +36,9 @@ let build algorithm rng g =
   | Baswana_sen ->
       let h = Classic.baswana_sen_3 rng g in
       Dc.of_sp_router ~name:"baswana-sen" ~graph:g ~spanner:h
+  | Baswana_sen_weighted ->
+      let h = Baswana_sen_weighted.build ~k:2 rng g in
+      Dc.of_sp_router ~name:"baswana-sen-weighted" ~graph:g ~spanner:h
   | Elkin_neiman ->
       let r = Elkin_neiman.build rng g in
       Dc.of_sp_router ~name:"elkin-neiman" ~graph:g ~spanner:r.Elkin_neiman.spanner
@@ -55,6 +60,7 @@ let stretch_guarantee = function
   | Algorithm1 -> "(3, O(sqrt(D) log n)) with O(n^{5/3} log^2 n) edges on D-regular, D >= n^{2/3}"
   | Greedy k -> Printf.sprintf "(%d, unbounded) with O(n^{1+1/%d}) edges" ((2 * k) - 1) k
   | Baswana_sen -> "(3, unbounded) with O(n^{3/2}) edges"
+  | Baswana_sen_weighted -> "(3, unbounded) with O(n^{3/2}) edges; weighted: d_H <= 3*w per edge"
   | Elkin_neiman -> "(3, unbounded) with O(n^{3/2}) edges in O(m) expected time"
   | Spectral_sparsify -> "(O(log n), O(log^4 n)) with O(n log n) edges on expanders"
   | Bounded_degree -> "(O(log n), O(log^3 n)) with O(n) edges on dense expanders"

@@ -18,6 +18,9 @@ type algorithm =
   | Algorithm1  (** Δ-regular DC-spanner (Theorem 3): stretch 3, [Õ(n^{5/3})] edges *)
   | Greedy of int  (** [Greedy k]: classic [(2k−1)]-distance spanner (no congestion control) *)
   | Baswana_sen  (** randomized 3-distance spanner (no congestion control) *)
+  | Baswana_sen_weighted
+      (** weight-aware Baswana–Sen [(2k−1)]-spanner, [k = 2]: [d_H ≤ 3·w]
+          per edge on weighted graphs (no congestion control) *)
   | Elkin_neiman  (** near-linear-time 3-distance spanner (no congestion control) *)
   | Spectral_sparsify  (** [16]-substitute: [Θ(n log n)]-edge expander sparsifier *)
   | Bounded_degree  (** [5]-substitute: [O(n)]-edge expander sparsifier *)

@@ -18,8 +18,10 @@ let run ?(alpha = 3) damaged ~within =
   if alpha < 1 then invalid_arg "Repair.run: alpha < 1";
   let h = Graph.copy damaged in
   let added = ref [] in
+  (* re-added edges keep their survivor-graph weight so the repaired spanner
+     stays a subgraph of [within] in the weighted sense too *)
   let add u v =
-    if Graph.add_edge h u v then begin
+    if Graph.add_edge ~weight:(Graph.edge_weight within u v) h u v then begin
       added := (min u v, max u v) :: !added;
       Metrics.incr m_added
     end

@@ -10,6 +10,8 @@ type t = Graph.csr = private {
   n : int;  (** number of nodes *)
   xadj : Csr_store.ba;  (** offsets: neighbors of [v] live at [xadj.{v} .. xadj.{v+1} - 1] *)
   adjncy : Csr_store.ba;  (** concatenated neighbor lists, sorted ascending per node *)
+  weights : Csr_store.ba option;
+      (** per-arc positive weights aligned with [adjncy]; [None] = all 1 *)
 }
 
 val of_graph : Graph.t -> t
@@ -28,6 +30,12 @@ val of_stream : ?m_hint:int -> n:int -> ((int -> int -> unit) -> unit) -> t
 (** O(n + m) counting-sort construction from an edge stream, bypassing
     {!Graph.t} entirely ({!Csr_store.of_stream}).  The streaming path for
     million-node graphs. *)
+
+val of_weighted_stream :
+  ?m_hint:int -> n:int -> ((int -> int -> int -> unit) -> unit) -> t
+(** Weighted streaming construction ({!Csr_store.of_weighted_stream}): each
+    [emit u v w] records a positively weighted edge; duplicate edges keep the
+    minimum weight. *)
 
 val empty : int -> t
 (** The edgeless snapshot on [n] nodes. *)
@@ -53,3 +61,17 @@ val mem_edge : t -> int -> int -> bool
 
 val iter_edges : t -> (int -> int -> unit) -> unit
 (** Iterate each edge exactly once as [(u, v)] with [u < v]. *)
+
+val is_weighted : t -> bool
+(** Whether the snapshot carries an explicit weight array. *)
+
+val edge_weight : t -> int -> int -> int
+(** Weight of an edge (1 on unweighted snapshots); raises [Invalid_argument]
+    if absent. *)
+
+val iter_neighbors_w : t -> int -> (int -> int -> unit) -> unit
+(** Like {!iter_neighbors} but passing each edge's weight (1 when
+    unweighted). *)
+
+val iter_edges_w : t -> (int -> int -> int -> unit) -> unit
+(** Like {!iter_edges} but passing each edge's weight (1 when unweighted). *)

@@ -18,6 +18,10 @@ type t = private {
   n : int;  (** number of nodes *)
   xadj : ba;  (** offsets: neighbors of [v] live at [xadj.{v} .. xadj.{v+1} - 1] *)
   adjncy : ba;  (** concatenated neighbor lists, sorted ascending per node *)
+  weights : ba option;
+      (** per-arc positive weights aligned with [adjncy]; [None] means every
+          edge has weight 1 (the unweighted stores are bit-identical to what
+          they were before weights existed) *)
 }
 
 val empty : int -> t
@@ -30,6 +34,18 @@ val of_stream : ?m_hint:int -> n:int -> ((int -> int -> unit) -> unit) -> t
     by destination, and transpose-scattered into sorted rows.  Emitting an
     edge once suffices; duplicates (either orientation) and self-loops are
     dropped.  Raises [Invalid_argument] if an endpoint is out of range. *)
+
+val of_weighted_stream :
+  ?m_hint:int -> n:int -> ((int -> int -> int -> unit) -> unit) -> t
+(** [of_weighted_stream ~n produce] is {!of_stream} for weighted edges: each
+    [emit u v w] records edge [(u, v)] with positive integer weight [w],
+    carried through the same counting-sort scatter.  When duplicate edges are
+    emitted, the minimum weight wins.  Raises [Invalid_argument] on
+    out-of-range endpoints or [w < 1].  The result always has
+    [is_weighted t = true], even if every emitted weight is 1. *)
+
+val is_weighted : t -> bool
+(** Whether the store carries an explicit weight array. *)
 
 val n : t -> int
 (** Number of nodes. *)
@@ -52,6 +68,17 @@ val fold_row : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 val mem : t -> int -> int -> bool
 (** Edge membership by binary search over the sorted row: O(log deg). *)
 
+val weight : t -> int -> int -> int
+(** Weight of an edge (1 on unweighted stores), by the same binary search as
+    {!mem}.  Raises [Invalid_argument] if the edge is absent. *)
+
+val iter_row_w : t -> int -> (int -> int -> unit) -> unit
+(** Like {!iter_row} but passing each neighbor's edge weight (1 when the
+    store is unweighted). *)
+
 val iter_edges : t -> (int -> int -> unit) -> unit
 (** Iterate each edge once as [(u, v)] with [u < v], ascending
     lexicographically. *)
+
+val iter_edges_w : t -> (int -> int -> int -> unit) -> unit
+(** Like {!iter_edges} but passing each edge's weight (1 when unweighted). *)

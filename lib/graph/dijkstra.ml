@@ -1,0 +1,246 @@
+(* Binary-heap Dijkstra over (optionally weighted) CSR snapshots — the
+   weighted counterpart of [Bfs].  The heap is a pair of flat int arrays
+   (tentative distance / node) with lazy deletion: a relaxation pushes a new
+   entry instead of decreasing a key, and stale entries are skipped at pop
+   because their recorded distance no longer matches [dist].  On unweighted
+   stores every arc costs 1, so the results coincide with [Bfs] — that
+   property is the cross-kernel oracle used by the test suite.
+
+   Counters are batched like in [Bfs]: tallied into locals, flushed once per
+   run. *)
+
+let m_runs = Metrics.counter "dijkstra.runs"
+let m_settled = Metrics.counter "dijkstra.nodes_settled"
+let m_heap = Metrics.gauge "dijkstra.heap_peak"
+
+(* Per-domain scratch arena in the style of [Bfs.Scratch]: dist/stamp are
+   epoch-stamped so reuse needs no O(n) clear, and the heap arrays persist
+   across runs (growing monotonically), so the steady state allocates
+   nothing.  Domains spawned by [Parallel] get fresh arenas. *)
+module Scratch = struct
+  type t = {
+    mutable dist : int array;
+    mutable stamp : int array;
+    mutable hd : int array;  (* heap: tentative distances *)
+    mutable hv : int array;  (* heap: nodes, parallel to [hd] *)
+    mutable epoch : int;
+  }
+
+  let m_reuses = Metrics.counter "dijkstra.scratch_reuses"
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        { dist = [||]; stamp = [||]; hd = [||]; hv = [||]; epoch = 0 })
+
+  let get n =
+    let s = Domain.DLS.get key in
+    if Array.length s.dist < n then begin
+      s.dist <- Array.make n 0;
+      s.stamp <- Array.make n (-1);
+      if Array.length s.hd < n then begin
+        s.hd <- Array.make (max n 16) 0;
+        s.hv <- Array.make (max n 16) 0
+      end;
+      s.epoch <- 0
+    end
+    else Metrics.incr m_reuses;
+    s.epoch <- s.epoch + 1;
+    s
+end
+
+(* Core run: settle nodes in nondecreasing distance order, calling [settle]
+   once per node, stopping once a popped distance exceeds [bound] (every
+   remaining node is then farther than [bound]) or [stop_at] is settled. *)
+let run g s ~bound ~stop_at ~settle =
+  let n = Csr.n g in
+  if s < 0 || s >= n then invalid_arg "Dijkstra: source out of range";
+  let sc = Scratch.get n in
+  let dist = sc.Scratch.dist and stamp = sc.Scratch.stamp and ep = sc.Scratch.epoch in
+  let hd = ref sc.Scratch.hd and hv = ref sc.Scratch.hv in
+  let size = ref 0 in
+  let heap_peak = ref 0 in
+  let grow () =
+    let c = 2 * Array.length !hd in
+    let d2 = Array.make c 0 and v2 = Array.make c 0 in
+    Array.blit !hd 0 d2 0 !size;
+    Array.blit !hv 0 v2 0 !size;
+    hd := d2;
+    hv := v2;
+    sc.Scratch.hd <- d2;
+    sc.Scratch.hv <- v2
+  in
+  let push d v =
+    if !size = Array.length !hd then grow ();
+    let hd = !hd and hv = !hv in
+    let i = ref !size in
+    incr size;
+    if !size > !heap_peak then heap_peak := !size;
+    (* Sift up. SAFETY: 0 <= parent < i < size <= length hd = length hv
+       throughout, so all heap indices below are in range. *)
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if Array.unsafe_get hd p > d then begin
+        Array.unsafe_set hd !i (Array.unsafe_get hd p);
+        Array.unsafe_set hv !i (Array.unsafe_get hv p);
+        i := p
+      end
+      else continue_ := false
+    done;
+    (* SAFETY: i only moved to in-range parent slots, so i < size <= length. *)
+    Array.unsafe_set hd !i d;
+    Array.unsafe_set hv !i v
+  in
+  let pop_to = ref 0 and pop_node = ref 0 in
+  let pop () =
+    let hd = !hd and hv = !hv in
+    pop_to := hd.(0);
+    pop_node := hv.(0);
+    decr size;
+    if !size > 0 then begin
+      let d = hd.(!size) and v = hv.(!size) in
+      (* Sift down. SAFETY: i and its children are always < size <= length. *)
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 in
+        if l >= !size then continue_ := false
+        else begin
+          (* SAFETY: l < size and (when inspected) l + 1 < size, and i < size
+             by the loop invariant, with size <= length hd = length hv. *)
+          let c =
+            if l + 1 < !size && Array.unsafe_get hd (l + 1) < Array.unsafe_get hd l then l + 1
+            else l
+          in
+          if Array.unsafe_get hd c < d then begin
+            Array.unsafe_set hd !i (Array.unsafe_get hd c);
+            Array.unsafe_set hv !i (Array.unsafe_get hv c);
+            i := c
+          end
+          else continue_ := false
+        end
+      done;
+      (* SAFETY: i only moved to in-range child slots, so i < size <= length. *)
+      Array.unsafe_set hd !i d;
+      Array.unsafe_set hv !i v
+    end
+  in
+  let xadj = g.Csr.xadj and adjncy = g.Csr.adjncy in
+  let consider u nd =
+    if stamp.(u) <> ep || nd < dist.(u) then begin
+      stamp.(u) <- ep;
+      dist.(u) <- nd;
+      push nd u
+    end
+  in
+  let relax =
+    match g.Csr.weights with
+    | None ->
+        fun v dv ->
+          (* SAFETY: v was range-checked when pushed; xadj has n+1 entries and
+             bounds adjncy by the CSR construction invariant. *)
+          let lo = Bigarray.Array1.unsafe_get xadj v
+          and hi = Bigarray.Array1.unsafe_get xadj (v + 1) in
+          for i = lo to hi - 1 do
+            consider (Bigarray.Array1.unsafe_get adjncy i) (dv + 1)
+          done
+    | Some w ->
+        fun v dv ->
+          (* SAFETY: same bounds as above; the weight array has dim adjncy. *)
+          let lo = Bigarray.Array1.unsafe_get xadj v
+          and hi = Bigarray.Array1.unsafe_get xadj (v + 1) in
+          for i = lo to hi - 1 do
+            consider
+              (Bigarray.Array1.unsafe_get adjncy i)
+              (dv + Bigarray.Array1.unsafe_get w i)
+          done
+  in
+  stamp.(s) <- ep;
+  dist.(s) <- 0;
+  push 0 s;
+  let settled = ref 0 in
+  let finished = ref false in
+  while (not !finished) && !size > 0 do
+    pop ();
+    let d = !pop_to and v = !pop_node in
+    (* Lazy deletion: an entry is live iff it still matches the tentative
+       distance.  A node's live entry is popped exactly once, since pushes
+       for a node carry strictly decreasing distances. *)
+    if d = dist.(v) && stamp.(v) = ep then begin
+      if d > bound then finished := true
+      else begin
+        settle v d;
+        incr settled;
+        if v = stop_at then finished := true else relax v d
+      end
+    end
+  done;
+  if !Obs.metrics then begin
+    Metrics.incr m_runs;
+    Metrics.add m_settled !settled;
+    Metrics.set_gauge m_heap !heap_peak
+  end
+
+let distances_impl g s ~bound ~stop_at =
+  let out = Array.make (Csr.n g) (-1) in
+  run g s ~bound ~stop_at ~settle:(fun v d -> out.(v) <- d);
+  out
+
+let distances g s = distances_impl g s ~bound:max_int ~stop_at:(-1)
+
+let distances_bounded g s ~bound = distances_impl g s ~bound ~stop_at:(-1)
+
+let point_query g u v ~bound =
+  let res = ref (-1) in
+  run g u ~bound ~stop_at:v ~settle:(fun x d -> if x = v then res := d);
+  !res
+
+let distance g u v = if u = v then 0 else point_query g u v ~bound:max_int
+
+let distance_bounded g u v ~bound = if u = v then 0 else point_query g u v ~bound
+
+(* Hop-bounded Bellman–Ford by frontier relaxation: round [r] relaxes out of
+   every node improved in round [r - 1].  Because a round may consume
+   improvements made earlier in the same round, the result can only be
+   *closer* to the true distance than the strict ≤hops-walk optimum — it
+   never under-shoots the true distance, and it is exact whenever some
+   shortest path uses at most [hops] edges.  That one-sided guarantee is
+   precisely what the certification sweeps need (a non-violating pair gets
+   its exact distance; a violating pair can only look worse). *)
+let bellman_ford_bounded g s ~hops =
+  let n = Csr.n g in
+  if s < 0 || s >= n then invalid_arg "Dijkstra.bellman_ford_bounded: source out of range";
+  if hops < 0 then invalid_arg "Dijkstra.bellman_ford_bounded: negative hops";
+  let dist = Array.make n max_int in
+  let mark = Array.make n (-1) in
+  let cur = ref (Array.make (max n 1) 0) and nxt = ref (Array.make (max n 1) 0) in
+  let clen = ref 1 and nlen = ref 0 in
+  dist.(s) <- 0;
+  !cur.(0) <- s;
+  let r = ref 0 in
+  while !r < hops && !clen > 0 do
+    incr r;
+    nlen := 0;
+    for i = 0 to !clen - 1 do
+      let v = (!cur).(i) in
+      let dv = dist.(v) in
+      Csr.iter_neighbors_w g v (fun u w ->
+          let nd = dv + w in
+          if nd < dist.(u) then begin
+            dist.(u) <- nd;
+            if mark.(u) <> !r then begin
+              mark.(u) <- !r;
+              (!nxt).(!nlen) <- u;
+              incr nlen
+            end
+          end)
+    done;
+    let t = !cur in
+    cur := !nxt;
+    nxt := t;
+    clen := !nlen
+  done;
+  for v = 0 to n - 1 do
+    if dist.(v) = max_int then dist.(v) <- -1
+  done;
+  dist

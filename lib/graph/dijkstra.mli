@@ -1,0 +1,42 @@
+(** Weighted single-source shortest paths over {!Csr.t} snapshots.
+
+    This is the weighted counterpart of {!Bfs}: a binary-heap Dijkstra with a
+    lazy-deletion heap held in a per-domain scratch arena ({!Bfs.Scratch}
+    style), so the steady state allocates nothing beyond the returned
+    distance rows.  On an unweighted snapshot every arc costs 1 and the
+    results coincide exactly with {!Bfs} — the cross-kernel oracle the test
+    suite checks.  All weights are positive by the {!Csr_store} invariant.
+
+    The kernel dispatch rule: unweighted graphs are certified by the
+    bit-parallel MS-BFS path ({!Bfs_batch}); these routines serve the
+    weighted path only.  Observability: [dijkstra.runs],
+    [dijkstra.nodes_settled], [dijkstra.heap_peak],
+    [dijkstra.scratch_reuses]. *)
+
+val distances : Csr.t -> int -> int array
+(** [distances g s] is the weighted distance from [s] to every node, [-1] for
+    unreachable nodes.  O((n + m) log n). *)
+
+val distances_bounded : Csr.t -> int -> bound:int -> int array
+(** Like {!distances} but nodes at weighted distance [> bound] report [-1];
+    the run stops as soon as the settled distance exceeds [bound]. *)
+
+val distance : Csr.t -> int -> int -> int
+(** [distance g u v] is the weighted distance from [u] to [v], [-1] if
+    disconnected.  Settles only up to [v]'s distance. *)
+
+val distance_bounded : Csr.t -> int -> int -> bound:int -> int
+(** Like {!distance} but returns [-1] when the distance exceeds [bound]. *)
+
+val bellman_ford_bounded : Csr.t -> int -> hops:int -> int array
+(** [bellman_ford_bounded g s ~hops] runs [hops] rounds of frontier-based
+    Bellman–Ford relaxation.  The returned value for a node never
+    under-shoots its true weighted distance, and equals it whenever some
+    minimum-weight path from [s] uses at most [hops] edges (a round may
+    consume same-round improvements, so values can be closer to the true
+    distance than the strict [≤ hops]-edge optimum); unreached nodes report
+    [-1].  With [hops >= n - 1] this is exactly {!distances}.  This one-sided
+    guarantee is what the bounded certification sweeps rely on: weights are
+    [≥ 1], so any pair within a weighted bound [b] has a witness path of at
+    most [b] edges and gets its exact distance, while a violating pair can
+    only look worse. *)

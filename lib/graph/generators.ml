@@ -342,3 +342,43 @@ let expander rng n d =
         done)
   in
   Graph.of_csr c
+
+(* Weighted families: uniform integer weights in [1, w_max].  A duplicate
+   arc keeps the lighter weight (the counting-sort dedup rule), matching
+   what a multigraph collapsed to its lightest parallel edge would give. *)
+let weighted_expander rng n d ~w_max =
+  if w_max < 1 then invalid_arg "Generators.weighted_expander: need w_max >= 1";
+  if n < 3 then invalid_arg "Generators.weighted_expander: need n >= 3";
+  if d < 2 || d >= n then invalid_arg "Generators.weighted_expander: need 2 <= d < n";
+  let rounds = (d - 2 + 1) / 2 in
+  let w () = 1 + Prng.int rng w_max in
+  let c =
+    Csr_store.of_weighted_stream ~m_hint:(n * (d + 1) / 2) ~n (fun emit ->
+        for v = 0 to n - 1 do
+          emit v (if v = n - 1 then 0 else v + 1) (w ())
+        done;
+        for _ = 1 to rounds do
+          let p = Prng.permutation rng n in
+          Array.iteri (fun i j -> if i <> j then emit i j (w ())) p
+        done)
+  in
+  Graph.of_csr c
+
+let weighted_torus rng rows cols ~w_max =
+  if w_max < 1 then invalid_arg "Generators.weighted_torus: need w_max >= 1";
+  let g = Graph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      ignore (Graph.add_edge ~weight:(1 + Prng.int rng w_max) g (id r c) (id r ((c + 1) mod cols)));
+      ignore (Graph.add_edge ~weight:(1 + Prng.int rng w_max) g (id r c) (id ((r + 1) mod rows) c))
+    done
+  done;
+  g
+
+let randomize_weights rng g ~w_max =
+  if w_max < 1 then invalid_arg "Generators.randomize_weights: need w_max >= 1";
+  let h = Graph.create (Graph.n g) in
+  Graph.iter_edges g (fun u v ->
+      ignore (Graph.add_edge ~weight:(1 + Prng.int rng w_max) h u v));
+  h

@@ -85,3 +85,19 @@ val expander : Prng.t -> int -> int -> Graph.t
     costs one counting sort.  Degrees are [d] rounded up to even, minus
     permutation fixed points and duplicate collisions (a o(1) fraction);
     requires [2 <= d < n]. *)
+
+val weighted_expander : Prng.t -> int -> int -> w_max:int -> Graph.t
+(** [weighted_expander rng n d ~w_max]: the {!expander} family with uniform
+    integer edge weights in [[1, w_max]], streamed through
+    {!Csr_store.of_weighted_stream} (duplicate arcs keep the lighter
+    weight).  Requires [w_max >= 1]. *)
+
+val weighted_torus : Prng.t -> int -> int -> w_max:int -> Graph.t
+(** [weighted_torus rng rows cols ~w_max]: the {!torus} topology with
+    uniform integer edge weights in [[1, w_max]].  Requires [w_max >= 1]. *)
+
+val randomize_weights : Prng.t -> Graph.t -> w_max:int -> Graph.t
+(** [randomize_weights rng g ~w_max]: a copy of [g] (same node set, same
+    edge set) with every edge's weight redrawn uniformly from
+    [[1, w_max]] — turns any generator into a weighted family.  Requires
+    [w_max >= 1]. *)

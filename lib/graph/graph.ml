@@ -9,15 +9,21 @@
    speed: a neighbor scan is the sorted base row (skipping deleted edges only
    when deletions exist) plus the node's few delta additions. *)
 
-type csr = Csr_store.t = private { n : int; xadj : Csr_store.ba; adjncy : Csr_store.ba }
+type csr = Csr_store.t = private {
+  n : int;
+  xadj : Csr_store.ba;
+  adjncy : Csr_store.ba;
+  weights : Csr_store.ba option;
+}
 
 type t = {
   mutable base : csr;  (* committed snapshot of the edge set *)
-  added : (int, unit) Hashtbl.t;  (* delta: edges present but not in base *)
+  added : (int, int) Hashtbl.t;  (* delta: edges present but not in base, with weight *)
   dels : (int, unit) Hashtbl.t;  (* delta: base edges currently absent *)
-  adds : int list array;  (* delta: added neighbors, per node *)
+  adds : (int * int) list array;  (* delta: added (neighbor, weight), per node *)
   deg : int array;  (* maintained degrees *)
   mutable m : int;
+  mutable weighted : bool;  (* monotone: some edge ever carried weight <> 1 *)
   mutable version : int;  (* bumped on every successful mutation *)
   mutable snap : (int * csr) option;  (* snapshot + the version it captured *)
 }
@@ -33,6 +39,7 @@ let create size =
     adds = Array.make size [];
     deg = Array.make size 0;
     m = 0;
+    weighted = false;
     version = 0;
     snap = None;
   }
@@ -64,7 +71,29 @@ let iter_neighbors g v f =
   check_node g v;
   if Hashtbl.length g.dels = 0 then Csr_store.iter_row g.base v f
   else Csr_store.iter_row g.base v (fun u -> if not (Hashtbl.mem g.dels (key g u v)) then f u);
-  List.iter f g.adds.(v)
+  List.iter (fun (u, _) -> f u) g.adds.(v)
+
+let is_weighted g = g.weighted
+
+let iter_neighbors_w g v f =
+  check_node g v;
+  if Hashtbl.length g.dels = 0 then Csr_store.iter_row_w g.base v f
+  else
+    Csr_store.iter_row_w g.base v (fun u w ->
+        if not (Hashtbl.mem g.dels (key g u v)) then f u w);
+  List.iter (fun (u, w) -> f u w) g.adds.(v)
+
+let edge_weight g u v =
+  check_node g u;
+  check_node g v;
+  if u = v then invalid_arg "Graph.edge_weight: no such edge";
+  let k = key g u v in
+  match Hashtbl.find_opt g.added k with
+  | Some w -> w
+  | None ->
+      if Hashtbl.mem g.dels k || not (Csr_store.mem g.base u v) then
+        invalid_arg "Graph.edge_weight: no such edge"
+      else Csr_store.weight g.base u v
 
 let neighbors g v =
   let acc = ref [] in
@@ -82,7 +111,15 @@ let iter_edges g f =
   for u = 0 to n g - 1 do
     Csr_store.iter_row g.base u (fun v ->
         if u < v && (no_dels || not (Hashtbl.mem g.dels (key g u v))) then f u v);
-    List.iter (fun v -> if u < v then f u v) g.adds.(u)
+    List.iter (fun (v, _) -> if u < v then f u v) g.adds.(u)
+  done
+
+let iter_edges_w g f =
+  let no_dels = Hashtbl.length g.dels = 0 in
+  for u = 0 to n g - 1 do
+    Csr_store.iter_row_w g.base u (fun v w ->
+        if u < v && (no_dels || not (Hashtbl.mem g.dels (key g u v))) then f u v w);
+    List.iter (fun (v, w) -> if u < v then f u v w) g.adds.(u)
   done
 
 let edges g =
@@ -101,7 +138,10 @@ let edge_array g =
 (* CSR construction lives here (not in [Csr]) so that the cache slot inside
    [t] can name the snapshot type without a dependency cycle; [Csr] re-exports
    the record and the entry points. *)
-let to_csr g = Csr_store.of_stream ~m_hint:g.m ~n:(n g) (fun emit -> iter_edges g emit)
+let to_csr g =
+  if g.weighted then
+    Csr_store.of_weighted_stream ~m_hint:g.m ~n:(n g) (fun emit -> iter_edges_w g emit)
+  else Csr_store.of_stream ~m_hint:g.m ~n:(n g) (fun emit -> iter_edges g emit)
 
 (* Replay the delta into a fresh base.  Does not bump [version]: the edge set
    is unchanged, only its physical layout. *)
@@ -120,21 +160,30 @@ let maybe_commit g =
   let d = Hashtbl.length g.added + Hashtbl.length g.dels in
   if d >= 64 && 2 * d >= Csr_store.m g.base then commit g
 
-let add_edge g u v =
+let add_edge ?(weight = 1) g u v =
   check_node g u;
   check_node g v;
+  if weight < 1 then invalid_arg "Graph.add_edge: weight must be positive";
   if u = v || mem_edge g u v then false
   else begin
     let k = key g u v in
-    if Hashtbl.mem g.dels k then Hashtbl.remove g.dels k (* resurrected base edge *)
-    else begin
-      Hashtbl.replace g.added k ();
-      g.adds.(u) <- v :: g.adds.(u);
-      g.adds.(v) <- u :: g.adds.(v)
-    end;
+    let record_delta () =
+      Hashtbl.replace g.added k weight;
+      g.adds.(u) <- (v, weight) :: g.adds.(u);
+      g.adds.(v) <- (u, weight) :: g.adds.(v)
+    in
+    if Hashtbl.mem g.dels k then begin
+      (* Resurrected base edge.  If the weight matches the base copy, just
+         drop the deletion marker; otherwise keep the marker (the base copy
+         stays hidden) and record the re-weighted edge in the delta. *)
+      if weight = Csr_store.weight g.base u v then Hashtbl.remove g.dels k
+      else record_delta ()
+    end
+    else record_delta ();
     g.deg.(u) <- g.deg.(u) + 1;
     g.deg.(v) <- g.deg.(v) + 1;
     g.m <- g.m + 1;
+    if weight <> 1 then g.weighted <- true;
     g.version <- g.version + 1;
     maybe_commit g;
     true
@@ -147,8 +196,8 @@ let remove_edge g u v =
     let k = key g u v in
     if Hashtbl.mem g.added k then begin
       Hashtbl.remove g.added k;
-      g.adds.(u) <- List.filter (fun x -> x <> v) g.adds.(u);
-      g.adds.(v) <- List.filter (fun x -> x <> u) g.adds.(v)
+      g.adds.(u) <- List.filter (fun (x, _) -> x <> v) g.adds.(u);
+      g.adds.(v) <- List.filter (fun (x, _) -> x <> u) g.adds.(v)
     end
     else Hashtbl.replace g.dels k ();
     g.deg.(u) <- g.deg.(u) - 1;
@@ -170,6 +219,7 @@ let copy g =
     adds = Array.copy g.adds;
     deg = Array.copy g.deg;
     m = g.m;
+    weighted = g.weighted;
     version = g.version;
     snap = g.snap;
   }
@@ -177,6 +227,11 @@ let copy g =
 let of_edges size es =
   let g = create size in
   List.iter (fun (u, v) -> ignore (add_edge g u v)) es;
+  g
+
+let of_weighted_edges size es =
+  let g = create size in
+  List.iter (fun (u, v, w) -> ignore (add_edge ~weight:w g u v)) es;
   g
 
 let of_csr c =
@@ -189,6 +244,7 @@ let of_csr c =
     adds = Array.make size [];
     deg;
     m = Csr_store.m c;
+    weighted = Csr_store.is_weighted c;
     version = 0;
     snap = Some (0, c);
   }
@@ -230,7 +286,8 @@ let isolate g v =
 let survivor g ~alive =
   if Array.length alive <> n g then invalid_arg "Graph.survivor: alive array size mismatch";
   let h = create (n g) in
-  iter_edges g (fun u v -> if alive.(u) && alive.(v) then ignore (add_edge h u v));
+  iter_edges_w g (fun u v w ->
+      if alive.(u) && alive.(v) then ignore (add_edge ~weight:w h u v));
   h
 
 let common_neighbors g u v =

@@ -19,6 +19,8 @@ type csr = Csr_store.t = private {
   n : int;  (** number of nodes *)
   xadj : Csr_store.ba;  (** offsets: neighbors of [v] live at [xadj.{v} .. xadj.{v+1} - 1] *)
   adjncy : Csr_store.ba;  (** concatenated neighbor lists, sorted ascending per node *)
+  weights : Csr_store.ba option;
+      (** per-arc positive weights aligned with [adjncy]; [None] = all 1 *)
 }
 (** Immutable compressed-sparse-row snapshot of a graph.  {!Csr.t} is an alias
     of this type; the traversal helpers live there. *)
@@ -35,9 +37,12 @@ val n : t -> int
 val m : t -> int
 (** Number of edges. *)
 
-val add_edge : t -> int -> int -> bool
+val add_edge : ?weight:int -> t -> int -> int -> bool
 (** [add_edge g u v] inserts the edge; returns [false] if it already existed
-    or [u = v].  Raises [Invalid_argument] if an endpoint is out of range. *)
+    or [u = v].  Raises [Invalid_argument] if an endpoint is out of range or
+    [weight < 1].  [weight] defaults to [1]; passing any weight [<> 1] makes
+    the graph weighted (see {!is_weighted}) — a graph whose edges all carry
+    weight 1 is indistinguishable from, and treated as, an unweighted one. *)
 
 val remove_edge : t -> int -> int -> bool
 (** [remove_edge g u v] deletes the edge; returns [false] if absent. *)
@@ -66,12 +71,33 @@ val edge_array : t -> edge array
 val iter_edges : t -> (int -> int -> unit) -> unit
 (** Iterate each edge exactly once as [(u, v)] with [u < v]. *)
 
+val is_weighted : t -> bool
+(** Whether some edge carries a weight [<> 1].  Monotone over the life of the
+    graph (conservatively stays [true] even if all such edges are removed).
+    This flag is the kernel dispatch rule: unweighted graphs take the
+    bit-parallel MS-BFS certification path, weighted ones the Dijkstra /
+    bounded Bellman–Ford path. *)
+
+val edge_weight : t -> int -> int -> int
+(** Weight of an edge ([1] on unweighted graphs).  Raises [Invalid_argument]
+    if the edge is absent. *)
+
+val iter_neighbors_w : t -> int -> (int -> int -> unit) -> unit
+(** Like {!iter_neighbors} but passing each edge's weight. *)
+
+val iter_edges_w : t -> (int -> int -> int -> unit) -> unit
+(** Like {!iter_edges} but passing each edge's weight. *)
+
 val copy : t -> t
 (** Deep copy. *)
 
 val of_edges : int -> (int * int) list -> t
 (** [of_edges n es] builds a graph on [n] nodes from an edge list (duplicates
     and self-loops ignored). *)
+
+val of_weighted_edges : int -> (int * int * int) list -> t
+(** [of_weighted_edges n es] builds a graph from [(u, v, w)] triples via
+    [add_edge ~weight:w] (duplicates keep their first weight). *)
 
 val of_csr : csr -> t
 (** [of_csr c] adopts a CSR store as the committed base of a new graph in

@@ -1,8 +1,17 @@
 let to_channel g oc =
   Printf.fprintf oc "n %d %d\n" (Graph.n g) (Graph.m g);
-  let edges = Graph.edge_array g in
-  Array.sort compare edges;
-  Array.iter (fun (u, v) -> Printf.fprintf oc "%d %d\n" u v) edges
+  if Graph.is_weighted g then begin
+    let edges = ref [] in
+    Graph.iter_edges_w g (fun u v w -> edges := (u, v, w) :: !edges);
+    let edges = Array.of_list !edges in
+    Array.sort compare edges;
+    Array.iter (fun (u, v, w) -> Printf.fprintf oc "%d %d %d\n" u v w) edges
+  end
+  else begin
+    let edges = Graph.edge_array g in
+    Array.sort compare edges;
+    Array.iter (fun (u, v) -> Printf.fprintf oc "%d %d\n" u v) edges
+  end
 
 let write g path =
   let oc = open_out path in
@@ -24,6 +33,15 @@ let of_channel ?(file = "<channel>") ic =
            |> List.concat_map (String.split_on_char '\t')
            |> List.filter (fun s -> s <> "")
          in
+         let add graph u v weight =
+           match (int_of_string_opt u, int_of_string_opt v) with
+           | Some u, Some v ->
+               if u = v then fail !line_no "self-loop"
+               else if u < 0 || v < 0 || u >= Graph.n graph || v >= Graph.n graph then
+                 fail !line_no "endpoint out of range"
+               else ignore (Graph.add_edge ~weight graph u v)
+           | _ -> fail !line_no "bad edge line"
+         in
          match (!g, fields) with
          | None, [ "n"; n; m ] -> (
              match (int_of_string_opt n, int_of_string_opt m) with
@@ -32,14 +50,12 @@ let of_channel ?(file = "<channel>") ic =
                  expected_m := m
              | _ -> fail !line_no "bad header")
          | None, _ -> fail !line_no "expected header 'n <nodes> <edges>'"
-         | Some graph, [ u; v ] -> (
-             match (int_of_string_opt u, int_of_string_opt v) with
-             | Some u, Some v ->
-                 if u = v then fail !line_no "self-loop"
-                 else if u < 0 || v < 0 || u >= Graph.n graph || v >= Graph.n graph then
-                   fail !line_no "endpoint out of range"
-                 else ignore (Graph.add_edge graph u v)
-             | _ -> fail !line_no "bad edge line")
+         | Some graph, [ u; v ] -> add graph u v 1
+         | Some graph, [ u; v; w ] -> (
+             match int_of_string_opt w with
+             | Some w when w >= 1 -> add graph u v w
+             | Some _ -> fail !line_no "edge weight must be a positive integer"
+             | None -> fail !line_no "bad edge line")
          | Some _, _ -> fail !line_no "bad edge line"
        end
      done

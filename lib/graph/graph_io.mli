@@ -4,12 +4,17 @@
     {v
     # optional comment lines
     n <nodes> <edges>
-    <u> <v>
+    <u> <v> [<w>]
     ...
     v}
-    Edges are written normalized ([u < v]), one per line.  [read] accepts any
-    whitespace separation, ignores blank and [#]-comment lines, deduplicates
-    edges, and rejects self-loops and out-of-range endpoints.
+    Edges are written normalized ([u < v]), one per line.  A third field, when
+    present, is the edge's positive integer weight; weighted graphs
+    ({!Graph.is_weighted}) are written with it, unweighted graphs without, and
+    an omitted weight reads back as 1, so unweighted files round-trip
+    byte-for-byte.  [read] accepts any whitespace separation, ignores blank
+    and [#]-comment lines, deduplicates edges, rejects self-loops and
+    out-of-range endpoints, and rejects zero or negative weights
+    ({!Io_error.Parse_error} with the file and line).
 
     This lets the CLI operate on externally produced graphs and makes spanner
     outputs inspectable with standard tools. *)

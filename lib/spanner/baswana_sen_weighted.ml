@@ -1,0 +1,109 @@
+(* Weighted Baswana–Sen (2k−1)-spanner [BS07], the clustering construction.
+
+   Phase 1 runs k−1 rounds over a residual copy of G.  Each round samples the
+   current cluster centers with probability n^(−1/k); a vertex of an
+   unsampled cluster looks at the lightest residual edge it has into every
+   adjacent cluster and either (a) has no sampled neighbor cluster — keeps
+   the lightest edge to EVERY adjacent cluster and retires from the residual
+   graph — or (b) joins the sampled cluster reachable by the lightest edge,
+   keeps that edge plus the lightest edge to every strictly lighter cluster,
+   and drops its residual edges into all the clusters so covered.  Phase 2
+   joins every surviving vertex to each adjacent cluster by its lightest
+   remaining edge.  Every dropped edge thus has a same-or-lighter spanner
+   edge into its endpoint's cluster, which is what drives the (2k−1)·w
+   detour bound (checked against a Floyd–Warshall reference in the tests).
+
+   Ties are broken by (weight, neighbor) — and (weight, neighbor, center)
+   when choosing the cluster to join — so the construction is deterministic
+   given the sampling draws.  Mutations are collected during a round and
+   committed at its end, so every vertex sees the same round-start residual
+   graph. *)
+
+let lightest_edges residual cluster v =
+  let best = Hashtbl.create 8 in
+  Graph.iter_neighbors_w residual v (fun u w ->
+      let c = cluster.(u) in
+      if c >= 0 then
+        match Hashtbl.find_opt best c with
+        | Some (w', u') when (w', u') <= (w, u) -> ()
+        | _ -> Hashtbl.replace best c (w, u));
+  best
+
+let build ?(k = 2) rng g =
+  if k < 1 then invalid_arg "Baswana_sen_weighted.build: k < 1";
+  let n = Graph.n g in
+  let h = Graph.empty_like g in
+  if n > 0 then begin
+    let p = float_of_int n ** (-1.0 /. float_of_int k) in
+    let residual = Graph.copy g in
+    (* cluster.(v) = center id of v's current cluster, -1 once v retired *)
+    let cluster = ref (Array.init n (fun v -> v)) in
+    let add_edges adds =
+      List.iter (fun (v, u, w) -> ignore (Graph.add_edge ~weight:w h v u)) adds
+    in
+    for _round = 1 to k - 1 do
+      let cl = !cluster in
+      (* step 1: sample the current centers *)
+      let is_center = Array.make n false in
+      for v = 0 to n - 1 do
+        if cl.(v) >= 0 then is_center.(cl.(v)) <- true
+      done;
+      let sampled = Array.make n false in
+      for c = 0 to n - 1 do
+        if is_center.(c) then sampled.(c) <- Prng.bool rng p
+      done;
+      let next = Array.make n (-1) in
+      for v = 0 to n - 1 do
+        if cl.(v) >= 0 && sampled.(cl.(v)) then next.(v) <- cl.(v)
+      done;
+      (* steps 2–3: per-vertex case split, mutations deferred to round end *)
+      let adds = ref [] and drops = ref [] and retired = ref [] in
+      for v = 0 to n - 1 do
+        if cl.(v) >= 0 && (not sampled.(cl.(v))) && Graph.degree residual v > 0 then begin
+          let best = lightest_edges residual cl v in
+          let best_sampled = ref None in
+          Hashtbl.iter
+            (fun c (w, u) ->
+              if sampled.(c) then
+                match !best_sampled with
+                | Some (w', u', c') when (w', u', c') <= (w, u, c) -> ()
+                | _ -> best_sampled := Some (w, u, c))
+            best;
+          match !best_sampled with
+          | None ->
+              (* no sampled neighbor cluster: cover every adjacent cluster
+                 with its lightest edge, then retire from the residual graph *)
+              Hashtbl.iter (fun _c (w, u) -> adds := (v, u, w) :: !adds) best;
+              retired := v :: !retired
+          | Some (wstar, ustar, cstar) ->
+              adds := (v, ustar, wstar) :: !adds;
+              next.(v) <- cstar;
+              Hashtbl.iter
+                (fun c (w, u) ->
+                  if c <> cstar && (w, u) < (wstar, ustar) then adds := (v, u, w) :: !adds)
+                best;
+              (* drop v's residual edges into the joined cluster and into
+                 every strictly lighter (now covered) cluster *)
+              Graph.iter_neighbors_w residual v (fun u _w ->
+                  let c = cl.(u) in
+                  if c = cstar || (c >= 0 && Hashtbl.find best c < (wstar, ustar)) then
+                    drops := (v, u) :: !drops)
+        end
+      done;
+      add_edges !adds;
+      List.iter (fun (v, u) -> ignore (Graph.remove_edge residual v u)) !drops;
+      List.iter (fun v -> ignore (Graph.isolate residual v)) !retired;
+      cluster := next
+    done;
+    (* phase 2: vertex–cluster joining over the surviving residual edges *)
+    let cl = !cluster in
+    let adds = ref [] in
+    for v = 0 to n - 1 do
+      if Graph.degree residual v > 0 then begin
+        let best = lightest_edges residual cl v in
+        Hashtbl.iter (fun _c (w, u) -> adds := (v, u, w) :: !adds) best
+      end
+    done;
+    add_edges !adds
+  end;
+  h

@@ -25,7 +25,78 @@ let removed_by_source g h =
   done;
   (Array.of_list !groups, !count)
 
+(* weighted variant: each target carries the removed edge's weight *)
+let removed_by_source_w g h =
+  let n = Graph.n g in
+  let buckets = Array.make n [] in
+  let count = ref 0 in
+  Graph.iter_edges_w g (fun u v w ->
+      if not (Graph.mem_edge h u v) then begin
+        buckets.(u) <- (v, w) :: buckets.(u);
+        incr count
+      end);
+  let groups = ref [] in
+  for u = n - 1 downto 0 do
+    match buckets.(u) with
+    | [] -> ()
+    | vs -> groups := (u, Array.of_list vs) :: !groups
+  done;
+  (Array.of_list !groups, !count)
+
 let snapshot_of h = function Some c -> c | None -> Csr.snapshot h
+
+(* Kernel dispatch rule: a graph with any non-unit weight certifies through
+   the Dijkstra / bounded Bellman–Ford path below; everything else keeps the
+   bit-parallel MS-BFS path bit-for-bit.  The weighted stretch of a removed
+   edge is the ceiling ratio [⌈d_H(u,v) / w(u,v)⌉], so "stretch ≤ bound" and
+   "d_H ≤ bound·w" agree — the weighted generalization of the unweighted
+   edge-detour criterion. *)
+let weighted g h = Graph.is_weighted g || Graph.is_weighted h
+
+let ratio_ceil d w = (d + w - 1) / w
+
+(* Worst ceiling ratio over one weighted source group; [max_int] as soon as
+   some target is unreachable or exceeds [bound].  The unbounded case runs a
+   full Dijkstra; the bounded case runs the hop-capped Bellman–Ford with
+   [bound * wmax] rounds — weights are >= 1, so any target within its
+   weighted bound [bound * w] has a witness path of at most [bound * w <=
+   bound * wmax] edges and gets its exact distance, while a violating target
+   can only look worse (see {!Dijkstra.bellman_ford_bounded}). *)
+let group_worst_w hc (u, targets) ~bound =
+  let dist =
+    if bound = max_int then Dijkstra.distances hc u
+    else begin
+      let wmax = Array.fold_left (fun acc (_, w) -> max acc w) 1 targets in
+      Dijkstra.bellman_ford_bounded hc u ~hops:(bound * wmax)
+    end
+  in
+  let worst = ref 1 in
+  (try
+     Array.iter
+       (fun (v, w) ->
+         let d = dist.(v) in
+         if d < 0 || (bound < max_int && d > bound * w) then begin
+           worst := max_int;
+           raise Exit
+         end
+         else begin
+           let r = ratio_ceil d w in
+           if r > !worst then worst := r
+         end)
+       targets
+   with Exit -> ());
+  !worst
+
+(* sequential weighted sweep over all groups, stopping once saturated *)
+let exact_impl_w hc groups ~bound =
+  Trace.with_span ~name:"dijkstra.sweep" (fun () ->
+      let ng = Array.length groups in
+      let worst = ref 1 and i = ref 0 in
+      while !worst < max_int && !i < ng do
+        worst := max !worst (group_worst_w hc groups.(!i) ~bound);
+        incr i
+      done;
+      !worst)
 
 (* worst detour over the groups in [groups.(lo .. lo+len-1)], answered by one
    batched sweep; [max_int] as soon as some edge is unreachable within
@@ -53,78 +124,124 @@ let batch_worst hc groups ~bound ~lo ~len =
 let exact_impl ?snapshot g h ~bound =
   Trace.with_span ~name:"spanner.certify" (fun () ->
       let hc = snapshot_of h snapshot in
-      let groups, count = removed_by_source g h in
-      if count = 0 then 1
-      else
-        Trace.with_span ~name:"bfs.sweep" (fun () ->
-            let ng = Array.length groups in
-            let worst = ref 1 and lo = ref 0 in
-            while !worst < max_int && !lo < ng do
-              let len = min Bfs_batch.width (ng - !lo) in
-              worst := max !worst (batch_worst hc groups ~bound ~lo:!lo ~len);
-              lo := !lo + len
-            done;
-            !worst))
+      if weighted g h then begin
+        let groups, count = removed_by_source_w g h in
+        if count = 0 then 1 else exact_impl_w hc groups ~bound
+      end
+      else begin
+        let groups, count = removed_by_source g h in
+        if count = 0 then 1
+        else
+          Trace.with_span ~name:"bfs.sweep" (fun () ->
+              let ng = Array.length groups in
+              let worst = ref 1 and lo = ref 0 in
+              while !worst < max_int && !lo < ng do
+                let len = min Bfs_batch.width (ng - !lo) in
+                worst := max !worst (batch_worst hc groups ~bound ~lo:!lo ~len);
+                lo := !lo + len
+              done;
+              !worst)
+      end)
 
 let exact ?snapshot g h = exact_impl ?snapshot g h ~bound:max_int
 
 let exact_parallel ?domains ?(bound = max_int) ?snapshot g h =
   Trace.with_span ~name:"spanner.certify" (fun () ->
       let hc = snapshot_of h snapshot in
-      let groups, count = removed_by_source g h in
-      if count = 0 then 1
+      if weighted g h then begin
+        let groups, count = removed_by_source_w g h in
+        if count = 0 then 1
+        else
+          Trace.with_span ~name:"dijkstra.sweep" (fun () ->
+              (* one weighted group per work unit; the Dijkstra scratch arena
+                 is domain-local, so read-only fan-out is safe *)
+              max 1
+                (Parallel.max_range_saturating ?domains (Array.length groups)
+                   (fun i -> group_worst_w hc groups.(i) ~bound)
+                   ~saturate:max_int))
+      end
       else begin
-        let ng = Array.length groups in
-        let nb = ((ng - 1) / Bfs_batch.width) + 1 in
-        let per_batch b =
-          let lo = b * Bfs_batch.width in
-          batch_worst hc groups ~bound ~lo ~len:(min Bfs_batch.width (ng - lo))
-        in
-        Trace.with_span ~name:"bfs.sweep" (fun () ->
-            (* one disconnected edge saturates the max: stop sweeping *)
-            max 1 (Parallel.max_range_saturating ?domains nb per_batch ~saturate:max_int))
+        let groups, count = removed_by_source g h in
+        if count = 0 then 1
+        else begin
+          let ng = Array.length groups in
+          let nb = ((ng - 1) / Bfs_batch.width) + 1 in
+          let per_batch b =
+            let lo = b * Bfs_batch.width in
+            batch_worst hc groups ~bound ~lo ~len:(min Bfs_batch.width (ng - lo))
+          in
+          Trace.with_span ~name:"bfs.sweep" (fun () ->
+              (* one disconnected edge saturates the max: stop sweeping *)
+              max 1 (Parallel.max_range_saturating ?domains nb per_batch ~saturate:max_int))
+        end
       end)
 
 let exact_bounded ?snapshot g h ~bound = exact_impl ?snapshot g h ~bound
 
 let exact_reference ?(bound = max_int) g h =
   let hc = Csr.snapshot h in
-  let worst = ref 1 in
-  (try
-     Graph.iter_edges g (fun u v ->
-         if not (Graph.mem_edge h u v) then begin
-           let d = Bfs.distance_bounded hc u v ~bound in
-           if d < 0 then begin
-             worst := max_int;
-             raise Exit
-           end;
-           worst := max !worst d
-         end)
-   with Exit -> ());
-  !worst
-
-let exact_grouped ?(bound = max_int) g h =
-  let hc = Csr.snapshot h in
-  let groups, count = removed_by_source g h in
-  if count = 0 then 1
+  if weighted g h then begin
+    let worst = ref 1 in
+    (try
+       Graph.iter_edges_w g (fun u v w ->
+           if not (Graph.mem_edge h u v) then begin
+             let d =
+               if bound = max_int then Dijkstra.distance hc u v
+               else Dijkstra.distance_bounded hc u v ~bound:(bound * w)
+             in
+             if d < 0 then begin
+               worst := max_int;
+               raise Exit
+             end;
+             worst := max !worst (ratio_ceil d w)
+           end)
+     with Exit -> ());
+    !worst
+  end
   else begin
     let worst = ref 1 in
     (try
-       Array.iter
-         (fun (u, targets) ->
-           let dist = Bfs.distances_bounded hc u ~bound in
-           Array.iter
-             (fun v ->
-               let d = dist.(v) in
-               if d < 0 then begin
-                 worst := max_int;
-                 raise Exit
-               end
-               else if d > !worst then worst := d)
-             targets)
-         groups
+       Graph.iter_edges g (fun u v ->
+           if not (Graph.mem_edge h u v) then begin
+             let d = Bfs.distance_bounded hc u v ~bound in
+             if d < 0 then begin
+               worst := max_int;
+               raise Exit
+             end;
+             worst := max !worst d
+           end)
      with Exit -> ());
     !worst
+  end
+
+let exact_grouped ?(bound = max_int) g h =
+  let hc = Csr.snapshot h in
+  if weighted g h then begin
+    let groups, count = removed_by_source_w g h in
+    if count = 0 then 1 else exact_impl_w hc groups ~bound
+  end
+  else begin
+    let groups, count = removed_by_source g h in
+    if count = 0 then 1
+    else begin
+      let worst = ref 1 in
+      (try
+         Array.iter
+           (fun (u, targets) ->
+             let dist = Bfs.distances_bounded hc u ~bound in
+             Array.iter
+               (fun v ->
+                 let d = dist.(v) in
+                 if d < 0 then begin
+                   worst := max_int;
+                   raise Exit
+                 end
+                 else if d > !worst then worst := d)
+               targets)
+           groups
+       with Exit -> ());
+      !worst
+    end
   end
 
 let is_three_spanner g h = exact_bounded g h ~bound:3 <= 3
@@ -136,14 +253,16 @@ let sampled_pairs ?snapshots rng g h ~samples =
   let n = Graph.n g in
   if n < 2 then 1.0
   else begin
+    (* same draw sequence either way; only the kernel differs *)
+    let dist = if weighted g h then Dijkstra.distance else Bfs.distance in
     let worst = ref 1.0 in
     for _ = 1 to samples do
       let u = Prng.int rng n in
       let v = Prng.int rng n in
       if u <> v then begin
-        let dg = Bfs.distance gc u v in
+        let dg = dist gc u v in
         if dg > 0 then begin
-          let dh = Bfs.distance hc u v in
+          let dh = dist hc u v in
           let ratio =
             if dh < 0 then infinity else float_of_int dh /. float_of_int dg
           in
@@ -154,26 +273,42 @@ let sampled_pairs ?snapshots rng g h ~samples =
     !worst
   end
 
+(* weighted violation scan of one group: flags targets with d_H > bound * w *)
+let group_violations_w hc (u, targets) ~bound bad =
+  let wmax = Array.fold_left (fun acc (_, w) -> max acc w) 1 targets in
+  let dist = Dijkstra.bellman_ford_bounded hc u ~hops:(bound * wmax) in
+  Array.iter
+    (fun (v, w) ->
+      let d = dist.(v) in
+      if d < 0 || d > bound * w then bad := (u, v) :: !bad)
+    targets
+
 let violations g h ~bound =
   let hc = Csr.snapshot h in
-  let groups, _ = removed_by_source g h in
   let bad = ref [] in
-  let ng = Array.length groups in
-  let lo = ref 0 in
-  while !lo < ng do
-    let len = min Bfs_batch.width (ng - !lo) in
-    let sources = Array.init len (fun i -> fst groups.(!lo + i)) in
-    let rows = Bfs_batch.run ~bound hc sources in
-    for i = 0 to len - 1 do
-      let u, targets = groups.(!lo + i) and row = rows.(i) in
-      Array.iter
-        (fun v ->
-          let d = row.(v) in
-          if d < 0 || d > bound then bad := (u, v) :: !bad)
-        targets
-    done;
-    lo := !lo + len
-  done;
+  if weighted g h then begin
+    let groups, _ = removed_by_source_w g h in
+    Array.iter (fun grp -> group_violations_w hc grp ~bound bad) groups
+  end
+  else begin
+    let groups, _ = removed_by_source g h in
+    let ng = Array.length groups in
+    let lo = ref 0 in
+    while !lo < ng do
+      let len = min Bfs_batch.width (ng - !lo) in
+      let sources = Array.init len (fun i -> fst groups.(!lo + i)) in
+      let rows = Bfs_batch.run ~bound hc sources in
+      for i = 0 to len - 1 do
+        let u, targets = groups.(!lo + i) and row = rows.(i) in
+        Array.iter
+          (fun v ->
+            let d = row.(v) in
+            if d < 0 || d > bound then bad := (u, v) :: !bad)
+          targets
+      done;
+      lo := !lo + len
+    done
+  end;
   (* canonical order: callers (Repair, reports) must not depend on hashtable
      iteration order *)
   List.sort compare !bad
@@ -232,24 +367,56 @@ let sweep_into cert hc groups ~lo ~len =
     cert.c_viol.(u) <- List.sort compare !bad
   done
 
+(* weighted counterpart of [sweep_into]: one hop-capped Bellman–Ford per
+   group, ratio verdicts into the same cache arrays *)
+let sweep_into_w cert hc groups ~lo ~len =
+  let bound = cert.c_bound in
+  for i = lo to lo + len - 1 do
+    let u, targets = groups.(i) in
+    let wmax = Array.fold_left (fun acc (_, w) -> max acc w) 1 targets in
+    let dist = Dijkstra.bellman_ford_bounded hc u ~hops:(bound * wmax) in
+    let worst = ref 1 and bad = ref [] in
+    Array.iter
+      (fun (v, w) ->
+        let d = dist.(v) in
+        if d < 0 || d > bound * w then begin
+          worst := max_int;
+          bad := (u, v) :: !bad
+        end
+        else begin
+          let r = ratio_ceil d w in
+          if r > !worst then worst := r
+        end)
+      targets;
+    cert.c_worst.(u) <- !worst;
+    cert.c_viol.(u) <- List.sort compare !bad
+  done
+
 let cert_create ?snapshot g h ~bound =
   if Graph.n g <> Graph.n h then invalid_arg "Stretch.cert_create: node counts differ";
   if bound < 1 then invalid_arg "Stretch.cert_create: bound < 1";
   Trace.with_span ~name:"spanner.certify_incremental" (fun () ->
       let hc = snapshot_of h snapshot in
-      let groups, _ = removed_by_source g h in
       let n = Graph.n g in
       let cert =
         { c_bound = bound; c_worst = Array.make n 1; c_viol = Array.make n []; c_groups = 0 }
       in
-      let ng = Array.length groups in
-      cert.c_groups <- ng;
-      let lo = ref 0 in
-      while !lo < ng do
-        let len = min Bfs_batch.width (ng - !lo) in
-        sweep_into cert hc groups ~lo:!lo ~len;
-        lo := !lo + len
-      done;
+      if weighted g h then begin
+        let groups, _ = removed_by_source_w g h in
+        cert.c_groups <- Array.length groups;
+        sweep_into_w cert hc groups ~lo:0 ~len:(Array.length groups)
+      end
+      else begin
+        let groups, _ = removed_by_source g h in
+        let ng = Array.length groups in
+        cert.c_groups <- ng;
+        let lo = ref 0 in
+        while !lo < ng do
+          let len = min Bfs_batch.width (ng - !lo) in
+          sweep_into cert hc groups ~lo:!lo ~len;
+          lo := !lo + len
+        done
+      end;
       cert)
 
 let cert_bound cert = cert.c_bound
@@ -303,6 +470,31 @@ let violations_incremental cert ?snapshot g h ~touched =
     invalid_arg "Stretch.violations_incremental: certificate built for a different node count";
   Trace.with_span ~name:"spanner.certify_incremental" (fun () ->
       let hc = snapshot_of h snapshot in
+      if weighted g h then begin
+        (* The hop-based dirty-marking argument below is calibrated to
+           unit-weight witness paths; for weighted graphs every group is
+           conservatively re-swept (sound over-approximation — the churn
+           workloads that lean on incrementality are unweighted). *)
+        let n = Graph.n g in
+        Array.iter
+          (fun s ->
+            if s < 0 || s >= n then
+              invalid_arg "Stretch.violations_incremental: touched node out of range")
+          touched;
+        Array.fill cert.c_worst 0 n 1;
+        Array.fill cert.c_viol 0 n [];
+        let groups, _ = removed_by_source_w g h in
+        let ng = Array.length groups in
+        cert.c_groups <- ng;
+        sweep_into_w cert hc groups ~lo:0 ~len:ng;
+        Metrics.add m_inc_swept ng;
+        let bad = ref [] in
+        for i = ng - 1 downto 0 do
+          bad := cert.c_viol.(fst groups.(i)) @ !bad
+        done;
+        { inc_violations = !bad; inc_swept = ng; inc_groups = ng; inc_dirty = n }
+      end
+      else begin
       let groups, _ = removed_by_source g h in
       let ng = Array.length groups in
       cert.c_groups <- ng;
@@ -347,4 +539,5 @@ let violations_incremental cert ?snapshot g h ~touched =
         inc_swept = swept;
         inc_groups = ng;
         inc_dirty = !ndirty;
-      })
+      }
+      end)

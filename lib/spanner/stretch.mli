@@ -11,7 +11,17 @@
     those sweeps run bit-parallel in a single {!Bfs_batch} pass.  On the
     paper's regular constructions this is a [Δ × word]-factor fewer
     traversals than the per-edge path ({!exact_reference}), with
-    bit-identical certificates — enforced by the property tests. *)
+    bit-identical certificates — enforced by the property tests.
+
+    {b Weighted graphs.}  When [g] (or [h]) {!Graph.is_weighted}, every
+    entry point below dispatches to the weighted kernels instead: the
+    stretch of a removed edge [(u,v)] is the ceiling ratio
+    [⌈d_H(u,v) / w(u,v)⌉] (so [exact <= b] iff every removed edge satisfies
+    [d_H <= b·w]); unbounded measurements run one {!Dijkstra} per source
+    group, bounded measurements and certificates run the hop-capped
+    {!Dijkstra.bellman_ford_bounded} ([bound·wmax] rounds suffice because
+    weights are ≥ 1).  Unit-weight graphs never reach this path: they keep
+    the MS-BFS kernel byte-for-byte. *)
 
 val exact : ?snapshot:Csr.t -> Graph.t -> Graph.t -> int
 (** [exact g h] is the exact distance stretch of spanner [h]: the maximum

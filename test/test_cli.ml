@@ -73,6 +73,35 @@ let test_unknown_algorithm_exits_123 () =
   check Alcotest.int "unknown algorithm" 123
     (run_cli "spanner --family torus -n 25 --algorithm bogus")
 
+let test_bad_weight_exits_123 () =
+  List.iter
+    (fun contents ->
+      with_temp_file contents (fun path ->
+          check Alcotest.int
+            (Printf.sprintf "graph --input on %S" contents)
+            123
+            (run_cli (Printf.sprintf "graph --input %s" path))))
+    [ "n 3 1\n0 1 0\n"; "n 3 1\n0 1 -4\n"; "n 3 1\n0 1 x\n" ]
+
+let test_negative_w_max_exits_123 () =
+  check Alcotest.int "negative --w-max" 123 (run_cli "graph --family torus -n 25 --w-max -2")
+
+let test_weighted_pipeline_exits_0 () =
+  (* graph --w-max -> weighted file -> bsw spanner -> verify, all green *)
+  let gfile = Filename.temp_file "dcs_cli_wgraph" ".txt" in
+  let sfile = Filename.temp_file "dcs_cli_wspan" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove gfile;
+      Sys.remove sfile)
+    (fun () ->
+      check Alcotest.int "weighted graph" 0
+        (run_cli (Printf.sprintf "graph --family torus -n 64 --w-max 6 --seed 9 -o %s" gfile));
+      check Alcotest.int "bsw spanner" 0
+        (run_cli (Printf.sprintf "spanner --input %s --algorithm bsw --seed 9 -o %s" gfile sfile));
+      check Alcotest.int "verify weighted spanner" 0
+        (run_cli (Printf.sprintf "verify -g %s --spanner %s" gfile sfile)))
+
 (* capture stdout of a CLI invocation *)
 let read_cli args =
   let out = Filename.temp_file "dcs_cli_out" ".txt" in
@@ -222,7 +251,11 @@ let () =
           Alcotest.test_case "wellformed graph" `Quick test_wellformed_graph_exits_0;
           Alcotest.test_case "bad fault mode" `Quick test_faults_bad_mode_exits_123;
           Alcotest.test_case "unknown algorithm" `Quick test_unknown_algorithm_exits_123;
+          Alcotest.test_case "bad edge weight" `Quick test_bad_weight_exits_123;
+          Alcotest.test_case "negative w-max" `Quick test_negative_w_max_exits_123;
         ] );
+      ( "weighted",
+        [ Alcotest.test_case "graph/spanner/verify pipeline" `Quick test_weighted_pipeline_exits_0 ] );
       ( "list",
         [
           Alcotest.test_case "names every construction" `Quick test_list_names_every_construction;
