@@ -1772,6 +1772,38 @@ let run_weighted br =
 
 (* ------------------------------------------------------------------ *)
 
+(* dcs_lint wall-clock: how long the two-tier analyzer takes over the whole
+   tree.  Shells out to the built executable — linking dcs_lint here would
+   drag compiler-libs into the bench image, and its Matching/Trace module
+   names collide with lib/routing and lib/obs under (wrapped false).  All
+   rows are non-stable: wall time is machine-dependent and the exit code is
+   the repo's business (CI gates it), not the baseline's. *)
+let run_lint br =
+  let candidates = [ "bin/dcs_lint.exe"; "_build/default/bin/dcs_lint.exe" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None ->
+      Printf.printf "lint: dcs_lint.exe not built, skipping\n";
+      Bench_report.add br ~stable:false ~units:"bool" "lint.ran" 0.0
+  | Some exe ->
+      let allow = if Sys.file_exists "lint.allow" then " --allow lint.allow" else "" in
+      let cmd =
+        Printf.sprintf "%s --json --strict%s lib bin bench > /dev/null"
+          (Filename.quote exe) allow
+      in
+      let t0 = Obs.now_us () in
+      let code = Sys.command cmd in
+      let ms = (Obs.now_us () -. t0) /. 1e3 in
+      Bench_report.add br ~stable:false ~units:"bool" "lint.ran" 1.0;
+      Bench_report.add br ~stable:false ~units:"ms" "lint.wall_ms" ms;
+      Bench_report.add br ~stable:false ~units:"code" "lint.exit_code" (float_of_int code);
+      let table =
+        Report.create ~title:"dcs_lint (two-tier static analysis)"
+          ~columns:[ "metric"; "value" ]
+      in
+      Report.add_row table [ "exit code (strict)"; string_of_int code ];
+      Report.add_row table [ "wall ms"; Printf.sprintf "%.1f" ms ];
+      Report.print table
+
 let all_blocks =
   [
     "table1";
@@ -1787,6 +1819,7 @@ let all_blocks =
     "timing";
     "kernels";
     "obs";
+    "lint";
   ]
 
 let print_trace_breakdown () =
@@ -1838,6 +1871,7 @@ let block_runners =
     ("timing", run_timing);
     ("kernels", run_kernels);
     ("obs", run_obs);
+    ("lint", run_lint);
   ]
 
 (* exit codes under --compare: 0 clean, 1 regression, 2 unusable baseline *)
@@ -1876,7 +1910,7 @@ let () =
       | None ->
           Printf.printf
             "unknown block %S (use \
-             table1|figures|lemmas|distributed|ablations|extensions|fault|soak|engine|weighted|timing|kernels|obs)\n"
+             table1|figures|lemmas|distributed|ablations|extensions|fault|soak|engine|weighted|timing|kernels|obs|lint)\n"
             block
       | Some run ->
           let br = Bench_report.create ~block ~scale:scale_name in

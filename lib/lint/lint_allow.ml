@@ -18,6 +18,27 @@ let path_matches ~pattern path =
   let tail = List.filteri (fun i _ -> i >= ls - lp) s in
   List.equal String.equal p tail
 
+let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\012'
+
+(* Whitespace-normal form: every maximal run of spaces/tabs/CRs collapses to
+   one space, leading/trailing runs drop.  Entries are parsed from and
+   findings are matched in this form, so a tab-separated allowlist line or a
+   trailing-whitespace edit cannot silently defeat a suppression. *)
+let normalize_ws s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if is_ws c then begin
+        if Buffer.length buf > 0
+           && Buffer.nth buf (Buffer.length buf - 1) <> ' '
+        then Buffer.add_char buf ' '
+      end
+      else Buffer.add_char buf c)
+    s;
+  let n = Buffer.length buf in
+  if n > 0 && Buffer.nth buf (n - 1) = ' ' then Buffer.sub buf 0 (n - 1)
+  else Buffer.contents buf
+
 let contains ~needle hay =
   let nh = String.length hay and nn = String.length needle in
   nn = 0
@@ -26,12 +47,16 @@ let contains ~needle hay =
   go 0
 
 let matches t (f : Lint_finding.t) =
+  let msg = normalize_ws f.msg in
   List.exists
     (fun e ->
       (e.pass = "*" || e.pass = f.pass)
       && path_matches ~pattern:e.path f.file
-      && contains ~needle:e.substring f.msg)
+      && contains ~needle:e.substring msg)
     t
+
+let tokens line =
+  String.split_on_char ' ' (normalize_ws line) |> List.filter (fun s -> s <> "")
 
 let parse_line line =
   let line =
@@ -39,11 +64,7 @@ let parse_line line =
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  match
-    String.split_on_char ' ' (String.trim line)
-    |> List.concat_map (String.split_on_char '\t')
-    |> List.filter (fun s -> s <> "")
-  with
+  match tokens line with
   | [] -> Ok None
   | [ pass; path ] -> Ok (Some { pass; path; substring = "" })
   | pass :: path :: rest -> Ok (Some { pass; path; substring = String.concat " " rest })

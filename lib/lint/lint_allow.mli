@@ -4,9 +4,13 @@
     [#] starts a comment; blank lines are ignored.  A finding is suppressed
     when its pass id equals the entry's (or the entry is ["*"]), its file
     path ends with the entry's path (whole '/'-segments), and — if given —
-    the entry's trailing words appear verbatim inside the message.  Matching
-    on path suffix + message rather than line numbers keeps entries stable
-    across unrelated edits; the list is meant to stay (near-)empty. *)
+    the entry's trailing words appear inside the message.  Both entry and
+    message are compared in whitespace-normal form (runs of spaces/tabs/CRs
+    collapse to one space, edges trimmed), so tab-separated entries and
+    trailing whitespace cannot silently defeat a suppression.  Matching on
+    path suffix + message rather than line numbers keeps entries stable
+    across unrelated edits; the list is meant to stay empty (enforced in
+    CI). *)
 
 type entry = { pass : string; path : string; substring : string }
 
@@ -25,3 +29,7 @@ val load : string -> (t, string) result
 
 val path_matches : pattern:string -> string -> bool
 (** Exposed for the driver's built-in scoping rules (same suffix logic). *)
+
+val normalize_ws : string -> string
+(** The whitespace-normal form used for entry parsing and message
+    matching. *)

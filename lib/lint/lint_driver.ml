@@ -1,6 +1,7 @@
 type result = {
   findings : Lint_finding.t list;
   files_scanned : int;
+  typed_files : int;
   suppressed : int;
 }
 
@@ -28,11 +29,12 @@ let collect roots =
 let ml_files files =
   List.filter (fun p -> Filename.check_suffix p ".ml") files
 
-(* Reachability for the par-hygiene pass: start from modules whose source
-   mentions Parallel./Domain. and close over lexical module references
-   (Lint_source.referenced_modules), restricted to modules in the scanned
-   set.  Over-approximates: a module is audited if any parallel-touching
-   module could call into it. *)
+(* Parse-tier reachability for the par-hygiene fallback: start from modules
+   whose source mentions Parallel./Domain. and close over lexical module
+   references (Lint_source.referenced_modules), restricted to modules in
+   the scanned set.  Over-approximates: a module is audited if any
+   parallel-touching module could call into it.  Typed files use the
+   cmt_imports closure instead (Lint_typed.parallel_closure). *)
 let parallel_closure sources =
   let by_name = Hashtbl.create 64 in
   List.iter
@@ -58,7 +60,8 @@ let parallel_closure sources =
     sources;
   fun name -> Hashtbl.mem reachable name
 
-let run ?(allow = Lint_allow.empty) ?(passes = Lint_passes.all) ~roots () =
+let run ?(allow = Lint_allow.empty) ?(passes = Lint_passes.all)
+    ?(tpasses = Lint_typed.all) ?(typed = true) ~roots () =
   let missing =
     List.filter_map
       (fun root ->
@@ -86,40 +89,74 @@ let run ?(allow = Lint_allow.empty) ?(passes = Lint_passes.all) ~roots () =
             None)
       (ml_files files)
   in
+  let index =
+    if typed then Lint_cmt.load_index ~roots else { Lint_cmt.units = []; errors = [] }
+  in
+  let typed_reachable = Lint_typed.parallel_closure index.Lint_cmt.units in
   let ctx =
     {
       Lint_passes.file_exists = Hashtbl.mem file_set;
       parallel_reachable = parallel_closure sources;
     }
   in
+  let typed_count = ref 0 in
+  let lint_source src =
+    let parse_tier ~typed_ran =
+      List.concat_map
+        (fun p ->
+          if typed_ran && not p.Lint_passes.runs_when_typed then []
+          else p.Lint_passes.check ctx src)
+        passes
+    in
+    let typed_tier unit =
+      let tctx = { Lint_typed.source = src; parallel_reachable = typed_reachable } in
+      List.concat_map (fun (p : Lint_typed.pass) -> p.Lint_typed.check tctx unit) tpasses
+    in
+    match Lint_source.ast src with
+    | Error (msg, line) ->
+        [
+          Lint_finding.make ~pass:"parse" ~file:src.Lint_source.path ~line ~col:0
+            ~severity:Lint_finding.Error msg;
+        ]
+    | Ok _ -> (
+        match Lint_cmt.find index src.Lint_source.path with
+        | Some unit -> (
+            (* A typed crash (cmi skew, truncated cmt) degrades the file to
+               the parse tier rather than aborting the whole lint run. *)
+            match typed_tier unit with
+            | typed_findings ->
+                incr typed_count;
+                typed_findings @ parse_tier ~typed_ran:true
+            | exception _ -> parse_tier ~typed_ran:false)
+        | None -> parse_tier ~typed_ran:false)
+  in
   let findings =
-    List.concat_map
-      (fun src ->
-        match Lint_source.ast src with
-        | Error (msg, line) ->
-            [
-              Lint_finding.make ~pass:"parse" ~file:src.Lint_source.path ~line ~col:0
-                ~severity:Lint_finding.Error msg;
-            ]
-        | Ok _ -> List.concat_map (fun p -> p.Lint_passes.check ctx src) passes)
-      sources
-    @ !parse_failures @ missing
+    List.concat_map lint_source sources @ !parse_failures @ missing
   in
   let kept, dropped = List.partition (fun f -> not (Lint_allow.matches allow f)) findings in
   {
     findings = Lint_finding.sort kept;
     files_scanned = List.length sources;
+    typed_files = !typed_count;
     suppressed = List.length dropped;
   }
 
 let to_json r =
-  Lint_finding.report_json ~files_scanned:r.files_scanned ~suppressed:r.suppressed r.findings
+  Lint_finding.report_json ~files_scanned:r.files_scanned ~typed:r.typed_files
+    ~suppressed:r.suppressed r.findings
 
 let to_table r =
   let summary =
-    Printf.sprintf "%d file(s) scanned, %d finding(s), %d suppressed by allowlist\n"
-      r.files_scanned (List.length r.findings) r.suppressed
+    Printf.sprintf
+      "%d file(s) scanned (%d typed), %d finding(s), %d suppressed by allowlist\n"
+      r.files_scanned r.typed_files (List.length r.findings) r.suppressed
   in
   Lint_finding.table r.findings ^ summary
 
-let exit_code r = if r.findings = [] then 0 else 1
+(* Warnings gate the build only under --strict (exit 3), so heuristic
+   passes can land without instantly breaking @lint — CI runs strict, which
+   is what keeps them from accumulating. *)
+let exit_code ?(strict = false) r =
+  if List.exists (fun f -> f.Lint_finding.severity = Lint_finding.Error) r.findings then 1
+  else if r.findings <> [] && strict then 3
+  else 0

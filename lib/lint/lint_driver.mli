@@ -1,5 +1,13 @@
-(** Orchestration: walk the requested roots, parse every [.ml], run the pass
-    catalogue, apply the allowlist, render.
+(** Orchestration: walk the requested roots, parse every [.ml], run the
+    two-tier pass catalogue, apply the allowlist, render.
+
+    Tier 1 (parse) needs only source text and runs on everything — including
+    files that fail to compile.  Tier 2 (typed) runs on files whose [.cmt]
+    the {!Lint_cmt} index found; for those files the parse-tier passes with
+    a typed upgrade ([runs_when_typed = false]) are skipped, so each rule is
+    enforced by exactly one tier per file.  A typed pass that crashes on a
+    unit (cmi skew, truncated cmt) silently degrades that file back to the
+    full parse tier.
 
     Unreadable or unparsable files surface as findings under the ["parse"]
     pseudo-pass rather than exceptions, so one bad file cannot hide the rest
@@ -8,6 +16,7 @@
 type result = {
   findings : Lint_finding.t list;  (** non-suppressed, sorted *)
   files_scanned : int;
+  typed_files : int;  (** how many of those got the typed tier *)
   suppressed : int;
 }
 
@@ -16,12 +25,21 @@ val collect : string list -> string list
     skipping dot-entries and [_build]. *)
 
 val run :
-  ?allow:Lint_allow.t -> ?passes:Lint_passes.pass list -> roots:string list -> unit -> result
+  ?allow:Lint_allow.t ->
+  ?passes:Lint_passes.pass list ->
+  ?tpasses:Lint_typed.pass list ->
+  ?typed:bool ->
+  roots:string list ->
+  unit ->
+  result
+(** [?typed:false] skips cmt discovery entirely (pure parse-tier run, the
+    pre-v2 behaviour — used by tests to compare the tiers). *)
 
 val to_json : result -> string
 
 val to_table : result -> string
 (** Findings table plus a one-line summary. *)
 
-val exit_code : result -> int
-(** [0] when clean, [1] when any finding survives the allowlist. *)
+val exit_code : ?strict:bool -> result -> int
+(** [0] clean (or warnings only without [strict]), [1] any error finding,
+    [3] warnings only under [strict]. *)

@@ -7,11 +7,13 @@ type t = {
   col : int;
   severity : severity;
   msg : string;
+  resolved_path : string option;
 }
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
-let make ~pass ~file ~line ~col ~severity msg = { pass; file; line; col; severity; msg }
+let make ?resolved_path ~pass ~file ~line ~col ~severity msg =
+  { pass; file; line; col; severity; msg; resolved_path }
 
 let compare_locs a b =
   let c = compare a.file b.file in
@@ -44,16 +46,21 @@ let json_escape s =
   Buffer.contents buf
 
 let to_json t =
+  let resolved =
+    match t.resolved_path with
+    | None -> ""
+    | Some p -> Printf.sprintf ",\"resolved_path\":\"%s\"" (json_escape p)
+  in
   Printf.sprintf
-    "{\"pass\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"severity\":\"%s\",\"msg\":\"%s\"}"
+    "{\"pass\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"severity\":\"%s\",\"msg\":\"%s\"%s}"
     (json_escape t.pass) (json_escape t.file) t.line t.col (severity_name t.severity)
-    (json_escape t.msg)
+    (json_escape t.msg) resolved
 
-let report_json ~files_scanned ~suppressed findings =
+let report_json ~files_scanned ~typed ~suppressed findings =
   let findings = sort findings in
   let errors = List.length (List.filter (fun f -> f.severity = Error) findings) in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n\"findings\":[";
+  Buffer.add_string buf "{\n\"schema\":\"dcs-lint/2\",\n\"findings\":[";
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char buf ',';
@@ -61,8 +68,8 @@ let report_json ~files_scanned ~suppressed findings =
     findings;
   Buffer.add_string buf
     (Printf.sprintf
-       "\n],\n\"summary\":{\"files\":%d,\"findings\":%d,\"errors\":%d,\"warnings\":%d,\"suppressed\":%d}\n}\n"
-       files_scanned (List.length findings) errors
+       "\n],\n\"summary\":{\"files\":%d,\"typed\":%d,\"findings\":%d,\"errors\":%d,\"warnings\":%d,\"suppressed\":%d}\n}\n"
+       files_scanned typed (List.length findings) errors
        (List.length findings - errors)
        suppressed);
   Buffer.contents buf

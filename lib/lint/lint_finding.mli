@@ -3,8 +3,11 @@
     A finding identifies the pass that produced it, the offending source
     location and a human-readable message.  [Error] findings are hard
     violations of a repo invariant; [Warning] marks heuristic passes (e.g.
-    the parallelism-hygiene detector) whose findings still fail the build
-    unless allowlisted, but signal "audit me" rather than "definitely wrong". *)
+    the parallelism-hygiene auditors) whose findings signal "audit me"
+    rather than "definitely wrong" — they fail the build only under
+    [--strict].  Typed-tier findings additionally carry the fully-resolved
+    identity ([resolved_path]) of the flagged value, so the JSON report
+    shows what an alias or open actually referred to. *)
 
 type severity = Error | Warning
 
@@ -15,9 +18,14 @@ type t = {
   col : int;  (** 0-based, as in compiler locations *)
   severity : severity;
   msg : string;
+  resolved_path : string option;
+      (** typed passes only: the canonical resolved identity behind the
+          flagged source text, e.g. ["Csr.of_graph"] for [C.of_graph] under
+          [module C = Csr] *)
 }
 
 val make :
+  ?resolved_path:string ->
   pass:string -> file:string -> line:int -> col:int -> severity:severity -> string -> t
 
 val severity_name : severity -> string
@@ -28,10 +36,11 @@ val sort : t list -> t list
 val json_escape : string -> string
 
 val to_json : t -> string
-(** One finding as a JSON object. *)
+(** One finding as a JSON object ([resolved_path] key present iff typed). *)
 
-val report_json : files_scanned:int -> suppressed:int -> t list -> string
-(** Full machine-readable report: [{"findings":[...],"summary":{...}}]. *)
+val report_json : files_scanned:int -> typed:int -> suppressed:int -> t list -> string
+(** Full machine-readable report, schema [dcs-lint/2]:
+    [{"schema":...,"findings":[...],"summary":{...}}]. *)
 
 val table : t list -> string
 (** Aligned human-readable table (or ["no findings\n"]). *)

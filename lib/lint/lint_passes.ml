@@ -9,6 +9,10 @@ type pass = {
   id : string;
   title : string;
   doc : string;
+  runs_when_typed : bool;
+      (* false: this pass is the parse-tier fallback for a typed pass and is
+         skipped on files the typed tier covered; true: it has no typed
+         counterpart (e.g. the .mli-existence check) and always runs *)
   check : ctx -> Lint_source.t -> Lint_finding.t list;
 }
 
@@ -115,6 +119,9 @@ let banned_prints =
     [ "prerr_bytes" ];
   ]
 
+(* Scoping exemptions, shared with the typed tier (Lint_typed): the rules
+   are the same, only the evidence (literal spelling vs resolved path)
+   differs between tiers. *)
 let raise_exempt path = is_file "lib/util/io_error.ml" path
 
 let print_exempt path = is_file "lib/util/report.ml" path || under ~dirs:[ "lib"; "obs" ] path
@@ -389,6 +396,7 @@ let all =
         "failwith/Failure and unprefixed invalid_arg messages in lib/ (except \
          lib/util/io_error.ml); Printf.printf/print_*/prerr_* in lib/ (except Report and \
          Dcs_obs); Csr.of_graph / Graph.to_csr outside lib/graph";
+      runs_when_typed = false;
       check = check_banned_api;
     };
     {
@@ -397,6 +405,7 @@ let all =
       doc =
         "Array/Bytes/String/Bigarray.Array1 unsafe_* only in bfs_batch.ml, bitmat.ml, \
          csr_store.ml, dijkstra.ml, and every site preceded by a (* SAFETY: ... *) comment";
+      runs_when_typed = false;
       check = check_unsafe_audit;
     };
     {
@@ -405,13 +414,15 @@ let all =
       doc =
         "top-level mutable state (refs, hash tables, arrays, mutated record globals) in \
          modules reachable from Parallel/Domain code must carry a (* DOMAIN-SAFE: ... *) \
-         justification";
+         justification; superseded by the typed mutable-escape pass on compiled files";
+      runs_when_typed = false;
       check = check_par_hygiene;
     };
     {
       id = "iface-coverage";
       title = "interface coverage";
       doc = "every lib/**/*.ml has a matching .mli";
+      runs_when_typed = true;
       check = check_iface_coverage;
     };
     {
@@ -420,6 +431,7 @@ let all =
       doc =
         "flags =, <>, compare, min, max applied to values that look like Graph.t/Csr.t \
          (structural compare ignores the version counter and walks the whole graph)";
+      runs_when_typed = false;
       check = check_poly_compare;
     };
   ]

@@ -1,10 +1,13 @@
-(** The pass catalogue.
+(** The parse-tier pass catalogue.
 
     Each pass inspects one {!Lint_source.t} (parsetree + raw text) against a
-    repo invariant and returns findings.  Passes are syntactic: they see the
-    parsetree, not types, so module-qualified names ([Csr.of_graph]) are
-    matched as written and local aliases escape them — the documented
-    trade-off until a typedtree-based pass lands (see ROADMAP). *)
+    repo invariant and returns findings.  These passes are syntactic: they
+    see the parsetree, not types, so module-qualified names ([Csr.of_graph])
+    are matched as written and local aliases escape them.  Since the typed
+    tier landed ({!Lint_typed}), the syntactic variants serve as the
+    fallback for files the compiler could not produce a [.cmt] for — a file
+    that does not compile still gets linted, just with the weaker evidence
+    ([runs_when_typed = false] marks exactly those fallback passes). *)
 
 type ctx = {
   file_exists : string -> bool;
@@ -19,6 +22,9 @@ type pass = {
   id : string;
   title : string;
   doc : string;
+  runs_when_typed : bool;
+      (** [false]: fallback for a typed pass, skipped when the typed tier
+          covered the file; [true]: no typed counterpart, always runs *)
   check : ctx -> Lint_source.t -> Lint_finding.t list;
 }
 
@@ -34,6 +40,18 @@ val under : dirs:string list -> string -> bool
 (** [under ~dirs:["lib";"graph"] path]: the directory segments of [path]
     contain [dirs] as a contiguous run (prefix-insensitive, so it holds from
     any working directory). *)
+
+val in_lib : string -> bool
+(** [under ~dirs:["lib"]]. *)
+
+val raise_exempt : string -> bool
+(** May this file [failwith]/raise [Failure]?  ([lib/util/io_error.ml].) *)
+
+val print_exempt : string -> bool
+(** May this file print?  ([lib/util/report.ml] and [lib/obs/].) *)
+
+val csr_exempt : string -> bool
+(** May this file build CSRs directly?  ([lib/graph/].) *)
 
 val has_context_prefix : string -> bool
 (** Does an error message start with a capitalized ["Module.fn:"] /

@@ -1,0 +1,428 @@
+(* The typed-tier pass catalogue: rules re-stated over the typedtree, where
+   identifiers are resolved Path.ts and expressions carry inferred types.
+   That is what makes them alias-, open- and functor-proof: [C.of_graph]
+   under [module C = Csr], [of_graph] under [open Csr] and a shadowing-free
+   [compare] all reduce to the same canonical identity here, while a local
+   [let compare = ...] (a Pident, not a Pdot) correctly stops matching the
+   Stdlib rule.  Parse-tier passes (Lint_passes) remain as the fallback for
+   files the compiler produced no .cmt for. *)
+
+open Typedtree
+
+type ctx = {
+  source : Lint_source.t;
+      (* the matching source file: scope rules key on its path, and the
+         SAFETY:/DOMAIN-SAFE: markers live in comments only the raw text
+         retains *)
+  parallel_reachable : string -> bool;
+      (* by compilation-unit name, from the cmt_imports closure *)
+}
+
+type pass = {
+  id : string;
+  title : string;
+  doc : string;
+  check : ctx -> Lint_cmt.t -> Lint_finding.t list;
+}
+
+(* ---- shared helpers ---- *)
+
+let loc_line_col (loc : Location.t) =
+  (loc.loc_start.Lexing.pos_lnum, loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol)
+
+let finding ?resolved_path ~pass ~severity (src : Lint_source.t) (loc : Location.t) msg =
+  let line, col = loc_line_col loc in
+  Lint_finding.make ?resolved_path ~pass ~file:src.Lint_source.path ~line ~col ~severity msg
+
+(* Run [f] on every expression of the unit's typedtree. *)
+let on_exprs (unit : Lint_cmt.t) f =
+  let out = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match f e with [] -> () | fs -> out := fs @ !out);
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it unit.Lint_cmt.structure;
+  List.rev !out
+
+let resolved_ident e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) when Lint_cmt.is_qualified p ->
+      Some (Lint_cmt.canonical (Lint_cmt.expr_env e) p)
+  | _ -> None
+
+let starts_with ~prefix s =
+  let lp = String.length prefix in
+  String.length s >= lp && String.sub s 0 lp = prefix
+
+let string_literal e =
+  match e.exp_desc with
+  | Texp_constant (Asttypes.Const_string (s, _, _)) -> Some s
+  | _ -> None
+
+(* ---- banned-api (typed) ---- *)
+
+let banned_prints =
+  [
+    "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "print_endline"; "print_string"; "print_newline"; "print_int"; "print_char";
+    "print_float"; "print_bytes"; "prerr_endline"; "prerr_string"; "prerr_newline";
+    "prerr_bytes";
+  ]
+
+let is_exn env ty = Lint_cmt.type_head env ty = Some "exn"
+
+let check_banned_api ctx unit =
+  let path = ctx.source.Lint_source.path in
+  if not (Lint_passes.in_lib path) then []
+  else
+    on_exprs unit (fun e ->
+        let err ?resolved_path msg =
+          [ finding ?resolved_path ~pass:"banned-api" ~severity:Lint_finding.Error
+              ctx.source e.exp_loc msg ]
+        in
+        let check_message_arg name arg =
+          match string_literal arg with
+          | Some s when not (Lint_passes.has_context_prefix s) ->
+              err
+                (Printf.sprintf
+                   "%s message %S lacks a Module.fn/Module: context prefix" name s)
+          | _ -> []
+        in
+        match e.exp_desc with
+        | Texp_ident _ -> (
+            match resolved_ident e with
+            | Some "failwith" when not (Lint_passes.raise_exempt path) ->
+                err ~resolved_path:"Stdlib.failwith"
+                  "failwith in lib/ (raise a typed error: Io_error.raise_error or \
+                   invalid_arg with a Module.fn prefix)"
+            | Some name when List.mem name banned_prints
+                             && not (Lint_passes.print_exempt path) ->
+                err ~resolved_path:name
+                  (Printf.sprintf "%s in lib/ (route output through Report or Dcs_obs)" name)
+            | Some ("Csr.of_graph" as name) when not (Lint_passes.csr_exempt path) ->
+                err ~resolved_path:name
+                  "Csr.of_graph outside lib/graph (use the version-cached Csr.snapshot)"
+            | Some ("Graph.to_csr" as name) when not (Lint_passes.csr_exempt path) ->
+                err ~resolved_path:name
+                  "Graph.to_csr outside lib/graph (use the version-cached Graph.snapshot)"
+            | _ -> [])
+        | Texp_apply (fn, (_, Some arg) :: _) when not (Lint_passes.raise_exempt path) -> (
+            match resolved_ident fn with
+            | Some "invalid_arg" -> check_message_arg "invalid_arg" arg
+            | _ -> [])
+        | Texp_construct (_, cd, [ arg ]) when not (Lint_passes.raise_exempt path) -> (
+            match cd.Types.cstr_name with
+            | "Failure" when is_exn (Lint_cmt.expr_env e) e.exp_type ->
+                err "Failure constructor in lib/ (raise a typed error instead)"
+            | "Invalid_argument" when is_exn (Lint_cmt.expr_env e) e.exp_type ->
+                check_message_arg "Invalid_argument" arg
+            | _ -> [])
+        | _ -> [])
+
+(* ---- unsafe-audit (typed) ---- *)
+
+let unsafe_resolved name =
+  match String.rindex_opt name '.' with
+  | None -> false
+  | Some i ->
+      let m = String.sub name 0 i in
+      let f = String.sub name (i + 1) (String.length name - i - 1) in
+      starts_with ~prefix:"unsafe_" f
+      && (List.mem m [ "Array"; "Bytes"; "String" ] || starts_with ~prefix:"Bigarray" m)
+
+let check_unsafe_audit ctx unit =
+  let path = ctx.source.Lint_source.path in
+  let allowed =
+    List.exists (fun k -> Lint_allow.path_matches ~pattern:k path) Lint_passes.kernel_allowlist
+  in
+  on_exprs unit (fun e ->
+      match resolved_ident e with
+      | Some name when unsafe_resolved name ->
+          let line, _ = loc_line_col e.exp_loc in
+          if not allowed then
+            [
+              finding ~resolved_path:name ~pass:"unsafe-audit"
+                ~severity:Lint_finding.Error ctx.source e.exp_loc
+                (Printf.sprintf "%s outside the allowlisted kernel set (%s)" name
+                   (String.concat ", "
+                      (List.map Filename.basename Lint_passes.kernel_allowlist)));
+            ]
+          else if
+            not (Lint_source.has_marker_above ctx.source ~marker:"SAFETY:" ~line)
+          then
+            [
+              finding ~resolved_path:name ~pass:"unsafe-audit"
+                ~severity:Lint_finding.Error ctx.source e.exp_loc
+                (Printf.sprintf
+                   "%s without a (* SAFETY: ... *) comment within %d lines above" name
+                   Lint_source.marker_window);
+            ]
+          else []
+      | _ -> [])
+
+(* ---- poly-compare (typed) ---- *)
+
+let poly_compare_ops = [ "="; "<>"; "compare"; "min"; "max" ]
+
+(* The graph representations whose structural comparison is banned: deep
+   compare walks the whole CSR and ignores the version counter.  Inside
+   graph.ml / csr.ml / csr_store.ml the same types appear under their local
+   name [t]. *)
+let graph_type modname name =
+  List.mem name [ "Graph.t"; "Csr.t"; "Csr_store.t"; "Graph.csr" ]
+  || (name = "t" && List.mem modname [ "Graph"; "Csr"; "Csr_store" ])
+
+let check_poly_compare ctx (unit : Lint_cmt.t) =
+  on_exprs unit (fun e ->
+      match e.exp_desc with
+      | Texp_apply (fn, args) -> (
+          match resolved_ident fn with
+          | Some op when List.mem op poly_compare_ops ->
+              let operands =
+                List.filter_map (function _, Some a -> Some a | _ -> None) args
+              in
+              let hit = ref None in
+              let matches name =
+                graph_type unit.Lint_cmt.modname name
+                && begin
+                     if !hit = None then hit := Some name;
+                     true
+                   end
+              in
+              let offending =
+                List.exists
+                  (fun a -> Lint_cmt.type_mentions (Lint_cmt.expr_env a) ~matches a.exp_type)
+                  operands
+              in
+              if offending then
+                let tyname = Option.value ~default:"Graph.t" !hit in
+                [
+                  finding ~resolved_path:tyname ~pass:"poly-compare"
+                    ~severity:Lint_finding.Error ctx.source e.exp_loc
+                    (Printf.sprintf
+                       "polymorphic %s on a value whose inferred type involves %s (deep \
+                        compare on version-counted graphs; compare node/edge counts or \
+                        use == identity)"
+                       op tyname);
+                ]
+              else []
+          | _ -> [])
+      | _ -> [])
+
+(* ---- mutable-escape (typed) ---- *)
+
+let mutable_types =
+  [
+    "ref"; "array"; "bytes"; "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t";
+    "Bigarray.Array1.t"; "Bigarray.Array2.t";
+  ]
+(* Atomic.t and Mutex.t are deliberately absent: they ARE the sanctioned
+   cross-domain disciplines, flagging them would punish the fix. *)
+
+let rec pattern_var : pattern -> string option =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_var (_, name) -> Some name.Asttypes.txt
+  | Tpat_alias (_, _, name) -> Some name.Asttypes.txt
+  | Tpat_tuple ps -> List.find_map pattern_var ps
+  | _ -> None
+
+(* Top-level bindings, descending into nested module structures: state in a
+   submodule is just as reachable from another domain. *)
+let rec toplevel_bindings_of_items items acc =
+  List.fold_left
+    (fun acc item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) -> List.rev_append vbs acc
+      | Tstr_module mb -> toplevel_bindings_of_module mb.mb_expr acc
+      | Tstr_recmodule mbs ->
+          List.fold_left (fun acc mb -> toplevel_bindings_of_module mb.mb_expr acc) acc mbs
+      | Tstr_include i -> toplevel_bindings_of_module i.incl_mod acc
+      | _ -> acc)
+    acc items
+
+and toplevel_bindings_of_module me acc =
+  match me.mod_desc with
+  | Tmod_structure s -> toplevel_bindings_of_items s.str_items acc
+  | Tmod_constraint (me, _, _, _) -> toplevel_bindings_of_module me acc
+  | _ -> acc
+
+let check_mutable_escape ctx (unit : Lint_cmt.t) =
+  let path = ctx.source.Lint_source.path in
+  if not (Lint_passes.in_lib path) then []
+  else if not (ctx.parallel_reachable unit.Lint_cmt.modname) then []
+  else
+    let bindings = List.rev (toplevel_bindings_of_items unit.Lint_cmt.structure.str_items []) in
+    List.concat_map
+      (fun vb ->
+        let env = Lint_cmt.expr_env vb.vb_expr in
+        let hit = ref None in
+        let matches name =
+          List.mem name mutable_types
+          && begin
+               if !hit = None then hit := Some name;
+               true
+             end
+        in
+        if not (Lint_cmt.type_mentions env ~matches vb.vb_pat.pat_type) then []
+        else
+          let line, _ = loc_line_col vb.vb_loc in
+          if Lint_source.has_marker_above ctx.source ~marker:"DOMAIN-SAFE:" ~line then []
+          else
+            let name = Option.value ~default:"_" (pattern_var vb.vb_pat) in
+            let tyname = Option.value ~default:"mutable" !hit in
+            [
+              finding ~resolved_path:tyname ~pass:"mutable-escape"
+                ~severity:Lint_finding.Warning ctx.source vb.vb_loc
+                (Printf.sprintf
+                   "top-level mutable state: %s's inferred type involves %s in a module \
+                    reachable from Parallel/Domain call graphs; annotate (* DOMAIN-SAFE: \
+                    why *) or refactor"
+                   name tyname);
+            ])
+      bindings
+
+(* ---- ignored-result (typed) ---- *)
+
+(* Functions whose result encodes a verdict the caller must act on:
+   discarding it via ignore/let _ silently drops a certification or
+   comparison outcome. *)
+let must_use name =
+  name = "Stretch.violations"
+  || starts_with ~prefix:"Repair." name
+  || starts_with ~prefix:"Bench_report.compare_" name
+
+let flagged_application e =
+  match e.exp_desc with
+  | Texp_apply (fn, _) -> (
+      match resolved_ident fn with
+      | Some name when must_use name ->
+          let env = Lint_cmt.expr_env e in
+          if Lint_cmt.type_is_unit env e.exp_type || Lint_cmt.type_is_arrow env e.exp_type
+          then None
+          else Some name
+      | _ -> None)
+  | _ -> None
+
+let check_ignored_result ctx (unit : Lint_cmt.t) =
+  let out = ref [] in
+  let flag loc name how =
+    out :=
+      finding ~resolved_path:name ~pass:"ignored-result" ~severity:Lint_finding.Error
+        ctx.source loc
+        (Printf.sprintf "result of %s discarded via %s (act on the verdict or bind it)"
+           name how)
+      :: !out
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_apply (fn, [ (_, Some a) ]) when resolved_ident fn = Some "ignore" -> (
+              match flagged_application a with
+              | Some name -> flag e.exp_loc name "ignore"
+              | None -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e);
+      value_binding =
+        (fun it vb ->
+          (match vb.vb_pat.pat_desc with
+          | Tpat_any -> (
+              match flagged_application vb.vb_expr with
+              | Some name -> flag vb.vb_loc name "let _"
+              | None -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  it.structure it unit.Lint_cmt.structure;
+  List.rev !out
+
+(* ---- registry ---- *)
+
+let all =
+  [
+    {
+      id = "banned-api";
+      title = "banned API calls (typed)";
+      doc =
+        "same rules as the parse tier, but on resolved paths: any value resolving to \
+         Stdlib.failwith, a banned printer, Csr.of_graph or Graph.to_csr fires however \
+         it is spelled (module aliases, opens, functor arguments)";
+      check = check_banned_api;
+    };
+    {
+      id = "unsafe-audit";
+      title = "unsafe accesses confined and justified (typed)";
+      doc =
+        "unsafe_* calls matched by resolved module — module A = Array cannot hide one, \
+         and a local safe wrapper named unsafe_* no longer false-positives; kernel \
+         allowlist and (* SAFETY: *) discipline unchanged";
+      check = check_unsafe_audit;
+    };
+    {
+      id = "poly-compare";
+      title = "no polymorphic compare on graphs (typed)";
+      doc =
+        "=, <>, compare, min, max whose operand's inferred type involves \
+         Graph.t/Csr.t/Csr_store.t, through type aliases and inside containers \
+         (Graph.t list, tuples); locally shadowed operators no longer match";
+      check = check_poly_compare;
+    };
+    {
+      id = "mutable-escape";
+      title = "typed parallelism hygiene";
+      doc =
+        "top-level bindings whose inferred type involves ref/array/bytes/Hashtbl.t/\
+         Buffer.t/Queue.t/Stack.t/Bigarray.Array1.t in modules reachable (by \
+         cmt_imports closure) from Parallel/Domain users, unless (* DOMAIN-SAFE: *) \
+         annotated; replaces par-hygiene's lexical heuristic on compiled files";
+      check = check_mutable_escape;
+    };
+    {
+      id = "ignored-result";
+      title = "must-use results not discarded";
+      doc =
+        "non-unit results of Stretch.violations, Repair.*, Bench_report.compare_* \
+         discarded via ignore or let _ — dropping a certification verdict on the floor";
+      check = check_ignored_result;
+    };
+  ]
+
+let find id = List.find_opt (fun p -> p.id = id) all
+
+(* Typed replacement for the lexical Parallel/Domain reachability scan: a
+   unit is audited when it transitively appears in the cmt_imports of a
+   unit that imports Parallel (the repo's domain pool) or Stdlib's Domain
+   directly.  Imports over-approximate calls (types count), which errs on
+   the side of auditing more modules — same bias as the lexical version. *)
+let parallel_closure (units : Lint_cmt.t list) =
+  let unit_names = Hashtbl.create 64 in
+  List.iter (fun (u : Lint_cmt.t) -> Hashtbl.replace unit_names u.Lint_cmt.modname u) units;
+  let triggers u =
+    List.exists
+      (fun i -> i = "Parallel" || i = "Domain" || i = "Stdlib__Domain")
+      u.Lint_cmt.imports
+    || u.Lint_cmt.modname = "Parallel"
+  in
+  let reachable = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem reachable name) then begin
+      Hashtbl.replace reachable name ();
+      match Hashtbl.find_opt unit_names name with
+      | Some u ->
+          List.iter
+            (fun i -> if Hashtbl.mem unit_names i then visit i)
+            u.Lint_cmt.imports
+      | None -> ()
+    end
+  in
+  List.iter (fun u -> if triggers u then visit u.Lint_cmt.modname) units;
+  fun name -> Hashtbl.mem reachable name

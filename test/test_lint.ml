@@ -1,11 +1,18 @@
 (* Dcs_lint tests: every pass must fire on a minimal bad fixture and stay
-   quiet on the matching clean one; the repo itself must be lint-clean under
-   the checked-in lint.allow; the JSON report and the allowlist format must
+   quiet on the matching clean one; the typed tier must catch the module-
+   alias and open evasions the parse tier provably misses (asserted on the
+   same fixture, both tiers); the repo itself must be lint-clean under the
+   checked-in lint.allow; the JSON report and the allowlist format must
    round-trip. *)
 
 let check = Alcotest.check
 
-(* ---- fixture harness ---- *)
+let contains needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ---- fixture harness (parse tier) ---- *)
 
 let ctx ?(files = []) ?(par = []) () =
   {
@@ -25,6 +32,65 @@ let clean name findings =
     (Printf.sprintf "%s clean (got: %s)" name
        (String.concat "; " (List.map (fun f -> f.Lint_finding.msg) findings)))
     true (findings = [])
+
+(* ---- fixture harness (typed tier) ----
+
+   The typed tier needs real .cmt files, so fixtures are compiled with
+   ocamlc -bin-annot into a throwaway directory: stub dependencies (Graph,
+   Csr, Stretch, Repair) at the root, the fixture modules under lib/ so the
+   lib-scoped rules apply.  Lint_driver.run is then pointed at <dir>/lib —
+   its cmt discovery and load-path remapping find the fixture's artifacts
+   the same way they find dune's. *)
+
+let stub_graph = "type t = { n : int }\nlet make n = { n }\nlet n t = t.n\n"
+
+let stub_csr =
+  "type t = { deg : int array }\nlet of_graph (_ : Graph.t) = { deg = [||] }\n\
+   let snapshot = of_graph\n"
+
+let stub_stretch = "let violations (_ : Graph.t) : (int * int) list = []\n"
+let stub_repair = "let run (_ : Graph.t) = 3\n"
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> output_string oc contents)
+
+let sh cmd = if Sys.command cmd <> 0 then Alcotest.failf "command failed: %s" cmd
+
+let with_typed_project lib_files f =
+  let dir = Filename.temp_file "dcs_lint_typed" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Sys.mkdir (Filename.concat dir "lib") 0o755;
+  let stubs =
+    [
+      ("graph.ml", stub_graph);
+      ("csr.ml", stub_csr);
+      ("stretch.ml", stub_stretch);
+      ("repair.ml", stub_repair);
+    ]
+  in
+  List.iter (fun (n, c) -> write_file (Filename.concat dir n) c) stubs;
+  List.iter
+    (fun (n, c) -> write_file (Filename.concat (Filename.concat dir "lib") n) c)
+    lib_files;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    (fun () ->
+      sh
+        (Printf.sprintf "cd %s && ocamlc -bin-annot -c %s" (Filename.quote dir)
+           (String.concat " " (List.map fst stubs)));
+      sh
+        (Printf.sprintf "cd %s && ocamlc -bin-annot -I %s -c %s"
+           (Filename.quote (Filename.concat dir "lib"))
+           (Filename.quote dir)
+           (String.concat " " (List.map fst lib_files)));
+      f dir)
+
+let lint ?(typed = true) dir =
+  Lint_driver.run ~typed ~roots:[ Filename.concat dir "lib" ] ()
+
+let by_pass id (r : Lint_driver.result) =
+  List.filter (fun f -> f.Lint_finding.pass = id) r.Lint_driver.findings
 
 (* ---- banned-api ---- *)
 
@@ -131,6 +197,168 @@ let test_poly_compare () =
   clean "counts are fine" (run_pass "poly-compare" ~path:p {|let f g h = Graph.n g = Graph.n h|});
   clean "physical identity is fine" (run_pass "poly-compare" ~path:p {|let f graph h = graph == h|})
 
+(* ---- typed tier: alias/open evasion (the reason the tier exists) ---- *)
+
+let evade_src =
+  "module C = Csr\n\
+   let build g = C.of_graph g\n\
+   open Csr\n\
+   let build2 g = of_graph g\n\
+   module A = Array\n\
+   let got (a : int array) = A.unsafe_get a 0\n"
+
+let test_typed_catches_alias_evasion () =
+  with_typed_project [ ("evade.ml", evade_src) ] (fun dir ->
+      (* the parse tier provably misses every spelling in this fixture: the
+         banned name never appears under its own module *)
+      let parse = lint ~typed:false dir in
+      check Alcotest.int "parse tier misses the aliased/opened Csr.of_graph" 0
+        (List.length (by_pass "banned-api" parse));
+      check Alcotest.int "parse tier misses the aliased unsafe_get" 0
+        (List.length (by_pass "unsafe-audit" parse));
+      let r = lint dir in
+      check Alcotest.int "typed tier ran on the fixture" 1 r.Lint_driver.typed_files;
+      let banned = by_pass "banned-api" r in
+      check Alcotest.int "typed catches both evasions" 2 (List.length banned);
+      check
+        Alcotest.(list int)
+        "at the alias and open call sites" [ 2; 4 ]
+        (List.map (fun f -> f.Lint_finding.line) banned);
+      List.iter
+        (fun f ->
+          check
+            Alcotest.(option string)
+            "resolved path recorded" (Some "Csr.of_graph") f.Lint_finding.resolved_path)
+        banned;
+      match by_pass "unsafe-audit" r with
+      | [ f ] ->
+          check
+            Alcotest.(option string)
+            "unsafe resolved through the alias" (Some "Array.unsafe_get")
+            f.Lint_finding.resolved_path
+      | fs -> Alcotest.failf "expected one unsafe-audit finding, got %d" (List.length fs))
+
+(* ---- typed tier: poly-compare through aliases and containers ---- *)
+
+let pcmp_src =
+  "type g_alias = Graph.t\n\
+   let cmp (a : g_alias) (b : g_alias) = compare a b\n\
+   let eq_list (a : Graph.t list) (b : Graph.t list) = a = b\n\
+   let ok (a : int) (b : int) = compare a b\n\
+   let shadow compare (a : Graph.t) (b : Graph.t) = compare (Graph.n a) (Graph.n b)\n"
+
+let test_typed_poly_compare () =
+  with_typed_project [ ("pcmp.ml", pcmp_src) ] (fun dir ->
+      let parse = lint ~typed:false dir in
+      check Alcotest.int "parse tier sees no graph-looking operand" 0
+        (List.length (by_pass "poly-compare" parse));
+      let r = lint dir in
+      let found = by_pass "poly-compare" r in
+      check
+        Alcotest.(list int)
+        "alias and container flagged; int compare and shadowed compare not" [ 2; 3 ]
+        (List.map (fun f -> f.Lint_finding.line) found);
+      List.iter
+        (fun f ->
+          check
+            Alcotest.(option string)
+            "offending type recorded" (Some "Graph.t") f.Lint_finding.resolved_path)
+        found)
+
+(* ---- typed tier: mutable-escape ---- *)
+
+let state_bad =
+  "let cache : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+   let get k = Hashtbl.find_opt cache k\n"
+
+let state_safe =
+  "(* DOMAIN-SAFE: populated before the domains spawn, read-only after *)\n\
+   let cache : (int, int) Hashtbl.t = Hashtbl.create 16\n\
+   let get k = Hashtbl.find_opt cache k\n"
+
+(* Worker pulls in Domain (→ Stdlib__Domain in cmt_imports) and State, so
+   the typed reachability closure marks State without any lexical hint in
+   state.ml itself — exactly what the parse-tier heuristic cannot see. *)
+let worker_src = "let tick () = Domain.cpu_relax ()\nlet peek k = State.get k\n"
+
+let test_mutable_escape () =
+  with_typed_project
+    [ ("state.ml", state_bad); ("worker.ml", worker_src) ]
+    (fun dir ->
+      let r = lint dir in
+      (match by_pass "mutable-escape" r with
+      | [ f ] ->
+          check Alcotest.bool "warning severity" true
+            (f.Lint_finding.severity = Lint_finding.Warning);
+          check
+            Alcotest.(option string)
+            "mutable type recorded" (Some "Hashtbl.t") f.Lint_finding.resolved_path;
+          check Alcotest.bool "points at state.ml" true
+            (contains "state.ml" f.Lint_finding.file)
+      | fs -> Alcotest.failf "expected one mutable-escape finding, got %d" (List.length fs));
+      (* the lexical par-hygiene pass must NOT double-report on typed files *)
+      check Alcotest.int "par-hygiene skipped on typed files" 0
+        (List.length (by_pass "par-hygiene" r)));
+  with_typed_project
+    [ ("state.ml", state_safe); ("worker.ml", worker_src) ]
+    (fun dir -> clean "DOMAIN-SAFE annotation" (by_pass "mutable-escape" (lint dir)));
+  with_typed_project
+    [ ("state.ml", state_bad) ]
+    (fun dir -> clean "not reachable from Domain users" (by_pass "mutable-escape" (lint dir)))
+
+(* ---- typed tier: ignored-result ---- *)
+
+let audit_src =
+  "let check g = ignore (Stretch.violations g)\n\
+   let check2 g = let _ = Stretch.violations g in ()\n\
+   let sweep g = ignore (Repair.run g)\n\
+   let ok g = List.length (Stretch.violations g)\n"
+
+let test_ignored_result () =
+  with_typed_project [ ("audit.ml", audit_src) ] (fun dir ->
+      let found = by_pass "ignored-result" (lint dir) in
+      check
+        Alcotest.(list int)
+        "ignore and let _ flagged; bound use not" [ 1; 2; 3 ]
+        (List.map (fun f -> f.Lint_finding.line) found);
+      check
+        Alcotest.(list (option string))
+        "resolved watchlist entries"
+        [ Some "Stretch.violations"; Some "Stretch.violations"; Some "Repair.run" ]
+        (List.map (fun f -> f.Lint_finding.resolved_path) found));
+  with_typed_project
+    [ ("audit.ml", "let ok g = List.length (Stretch.violations g)\n") ]
+    (fun dir -> clean "bound result" (by_pass "ignored-result" (lint dir)))
+
+(* ---- --strict: warnings promote to exit 3 ---- *)
+
+let test_strict_exit () =
+  (* .mli files keep iface-coverage quiet, so the only finding is the
+     Warning-severity mutable-escape — the exact case --strict exists for *)
+  let files =
+    [
+      ("state.mli", "val get : int -> int option\n");
+      ("state.ml", state_bad);
+      ("worker.mli", "val tick : unit -> unit\nval peek : int -> int option\n");
+      ("worker.ml", worker_src);
+    ]
+  in
+  with_typed_project files (fun dir ->
+      let r = lint dir in
+      check Alcotest.bool "warnings only" true
+        (r.Lint_driver.findings <> []
+        && List.for_all
+             (fun f -> f.Lint_finding.severity = Lint_finding.Warning)
+             r.Lint_driver.findings);
+      check Alcotest.int "exit 0 without strict" 0 (Lint_driver.exit_code r);
+      check Alcotest.int "exit 3 under strict" 3 (Lint_driver.exit_code ~strict:true r);
+      let root = Filename.quote (Filename.concat dir "lib") in
+      let exe = Filename.concat Filename.parent_dir_name (Filename.concat "bin" "dcs_lint.exe") in
+      check Alcotest.int "exe exit 0 without --strict" 0
+        (Sys.command (Printf.sprintf "%s %s > /dev/null" exe root));
+      check Alcotest.int "exe exit 3 with --strict" 3
+        (Sys.command (Printf.sprintf "%s --strict %s > /dev/null" exe root)))
+
 (* ---- parse pseudo-pass ---- *)
 
 let test_parse_failure_is_a_finding () =
@@ -162,6 +390,7 @@ let test_repo_is_lint_clean () =
   in
   let r = Lint_driver.run ~allow ~roots:repo_roots () in
   check Alcotest.bool "scanned a realistic number of sources" true (r.Lint_driver.files_scanned > 50);
+  check Alcotest.bool "typed tier covers the libraries" true (r.Lint_driver.typed_files > 50);
   check
     Alcotest.(list string)
     "repo lint-clean" []
@@ -178,11 +407,6 @@ let test_every_pass_exercised_by_repo_kernels () =
     | Ok s -> s
     | Error msg -> Alcotest.failf "cannot load bfs_batch.ml: %s" msg
   in
-  let contains needle hay =
-    let nh = String.length hay and nn = String.length needle in
-    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-    go 0
-  in
   let uses_unsafe =
     contains "Array.unsafe_get" src.Lint_source.text
     && contains "SAFETY:" src.Lint_source.text
@@ -197,13 +421,9 @@ let test_json_report () =
   List.iter
     (fun key ->
       check Alcotest.bool (Printf.sprintf "json has %S" key) true
-        (let re = Printf.sprintf "\"%s\"" key in
-         let rec find i =
-           i + String.length re <= String.length json
-           && (String.sub json i (String.length re) = re || find (i + 1))
-         in
-         find 0))
-    [ "findings"; "summary"; "files"; "errors"; "warnings"; "suppressed" ];
+        (contains (Printf.sprintf "\"%s\"" key) json))
+    [ "schema"; "findings"; "summary"; "files"; "typed"; "errors"; "warnings"; "suppressed" ];
+  check Alcotest.bool "schema is v2" true (contains "\"schema\":\"dcs-lint/2\"" json);
   (* escaping: a finding whose message embeds quotes/newlines must stay
      well-formed (spot-check the escaper directly) *)
   check Alcotest.string "escape" {|a\"b\\c\nd|} (Lint_finding.json_escape "a\"b\\c\nd");
@@ -214,7 +434,13 @@ let test_json_report () =
   check Alcotest.bool "finding json shape" true
     (Lint_finding.to_json f
     = {|{"pass":"banned-api","file":"lib/x.ml","line":3,"col":2,"severity":"error","msg":"uses \"quotes\""}|}
-    )
+    );
+  let fr =
+    Lint_finding.make ~resolved_path:"Csr.of_graph" ~pass:"banned-api" ~file:"lib/x.ml"
+      ~line:3 ~col:2 ~severity:Lint_finding.Error "m"
+  in
+  check Alcotest.bool "resolved_path serialized" true
+    (contains {|"resolved_path":"Csr.of_graph"|} (Lint_finding.to_json fr))
 
 (* ---- allowlist ---- *)
 
@@ -228,11 +454,22 @@ let test_allowlist_round_trip () =
   (match Lint_allow.of_string (Lint_allow.to_string entries) with
   | Ok parsed -> check Alcotest.bool "round trip" true (parsed = entries)
   | Error msg -> Alcotest.failf "round trip failed: %s" msg);
-  (* comments and blanks vanish *)
-  (match Lint_allow.of_string "# header\n\n  # indented comment\n" with
+  (* comments and blanks vanish, including tab-only lines *)
+  (match Lint_allow.of_string "# header\n\n  # indented comment\n\t \n \t# tabbed comment\n" with
   | Ok [] -> ()
   | Ok _ -> Alcotest.fail "comments produced entries"
   | Error msg -> Alcotest.failf "comment parse failed: %s" msg);
+  (* tabs and runs of whitespace separate fields like single spaces, and the
+     message substring is stored whitespace-normal *)
+  (match Lint_allow.of_string "banned-api\tlib/x.ml \t failwith   here \n" with
+  | Ok [ e ] ->
+      check Alcotest.string "tab-separated pass" "banned-api" e.Lint_allow.pass;
+      check Alcotest.string "tab-separated path" "lib/x.ml" e.Lint_allow.path;
+      check Alcotest.string "normalized substring" "failwith here" e.Lint_allow.substring
+  | Ok es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+  | Error msg -> Alcotest.failf "tab parse failed: %s" msg);
+  check Alcotest.string "normalize_ws collapses runs" "a b c"
+    (Lint_allow.normalize_ws " a\t\tb \r c ");
   (* matching: pass, path suffix (whole segments), message substring *)
   let f =
     Lint_finding.make ~pass:"par-hygiene" ~file:"../lib/obs/trace.ml" ~line:15 ~col:0
@@ -246,7 +483,12 @@ let test_allowlist_round_trip () =
        [ { Lint_allow.pass = "*"; path = "race.ml"; substring = "" } ]
        f);
   check Alcotest.bool "wrong substring" false
-    (Lint_allow.matches entries { f with Lint_finding.msg = "something else" })
+    (Lint_allow.matches entries { f with Lint_finding.msg = "something else" });
+  (* the finding message is matched whitespace-normal too: internal tabs or
+     doubled spaces in the rendered message cannot defeat a suppression *)
+  check Alcotest.bool "ws-insensitive message match" true
+    (Lint_allow.matches entries
+       { f with Lint_finding.msg = "top-level \t mutable  state: spans" })
 
 let test_allowlist_suppresses () =
   (* suppress a synthetic violation end-to-end through the driver *)
@@ -291,20 +533,17 @@ let test_exe_json_clean () =
     (fun () ->
       let code =
         Sys.command
-          (Printf.sprintf "%s --json --allow ../lint.allow ../lib ../bin ../bench > %s"
+          (Printf.sprintf "%s --json --strict --allow ../lint.allow ../lib ../bin ../bench > %s"
              lint_exe out)
       in
-      check Alcotest.int "exit 0 on clean repo" 0 code;
+      check Alcotest.int "exit 0 on clean repo (even strict)" 0 code;
       let body = In_channel.with_open_text out In_channel.input_all in
       check Alcotest.bool "json body" true
         (String.length body > 0 && body.[0] = '{');
-      let contains needle =
-        let nh = String.length body and nn = String.length needle in
-        let rec go i = i + nn <= nh && (String.sub body i nn = needle || go (i + 1)) in
-        go 0
-      in
-      check Alcotest.bool "empty findings array" true (contains "\"findings\":[\n]");
-      check Alcotest.bool "summary present" true (contains "\"summary\""))
+      check Alcotest.bool "v2 schema" true (contains "\"schema\":\"dcs-lint/2\"" body);
+      check Alcotest.bool "empty findings array" true (contains "\"findings\":[\n]" body);
+      check Alcotest.bool "typed coverage reported" true (contains "\"typed\":" body);
+      check Alcotest.bool "summary present" true (contains "\"summary\"" body))
 
 let () =
   Alcotest.run "lint"
@@ -317,6 +556,14 @@ let () =
           Alcotest.test_case "iface-coverage" `Quick test_iface_coverage;
           Alcotest.test_case "poly-compare" `Quick test_poly_compare;
           Alcotest.test_case "parse failure" `Quick test_parse_failure_is_a_finding;
+        ] );
+      ( "typed",
+        [
+          Alcotest.test_case "alias/open evasion" `Quick test_typed_catches_alias_evasion;
+          Alcotest.test_case "poly-compare aliases" `Quick test_typed_poly_compare;
+          Alcotest.test_case "mutable-escape" `Quick test_mutable_escape;
+          Alcotest.test_case "ignored-result" `Quick test_ignored_result;
+          Alcotest.test_case "strict exit" `Quick test_strict_exit;
         ] );
       ( "repo",
         [
